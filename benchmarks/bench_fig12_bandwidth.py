@@ -1,0 +1,50 @@
+"""Figure 12 — impact of DRAM bandwidth on performance.
+
+Sweeps the memory system from 20 GB/s to 2000 GB/s for every kernel and
+reports the speedup relative to the 20 GB/s point. The paper's observation
+reproduces: outer-parallelized kernels exploit bandwidth (steep curves),
+while Plus2 — not outer-parallelized — barely moves.
+"""
+
+import pytest
+
+from benchmarks.conftest import SCALE
+from repro.util import ascii_xy
+from repro.capstan import CapstanSimulator, compute_stats
+from repro.data import datasets_for
+from repro.eval.harness import build_kernel, figure12, format_figure12
+from repro.eval.paper_results import FIG12_BANDWIDTHS
+from repro.kernels import KERNEL_ORDER
+
+
+@pytest.mark.parametrize("name", KERNEL_ORDER)
+def test_bandwidth_sweep(benchmark, name):
+    """Benchmark: the seven-point bandwidth sweep for one kernel."""
+    kernel = build_kernel(name, datasets_for(name)[0].name, SCALE)
+    stats = compute_stats(kernel)
+    sim = CapstanSimulator()
+    sweep = benchmark.pedantic(
+        sim.sweep_bandwidth, args=(kernel, None, FIG12_BANDWIDTHS, stats),
+        rounds=1, iterations=1,
+    )
+    times = [sweep[bw].seconds for bw in FIG12_BANDWIDTHS]
+    assert times == sorted(times, reverse=True)  # monotone in bandwidth
+
+
+def test_report_figure12(benchmark, report):
+    """Regenerate and print the Figure 12 series."""
+    series = benchmark.pedantic(figure12, args=(SCALE,), rounds=1, iterations=1)
+    chart = ascii_xy(
+        {k: series[k] for k in ("SpMV", "SDDMM", "TTV", "InnerProd", "Plus2")},
+        title="speedup vs DRAM bandwidth (log-log; compare paper Fig. 12)",
+    )
+    report(
+        f"Figure 12 (E4), scale={SCALE}",
+        format_figure12(series) + "\n\n" + chart,
+    )
+    top_bw = FIG12_BANDWIDTHS[-1]
+    # Bandwidth-hungry kernels gain an order of magnitude across the sweep;
+    # Plus2 (par = 1, compute-bound) barely gains — the paper's contrast.
+    assert series["SpMV"][top_bw] > 5.0
+    assert series["Plus2"][top_bw] < series["SpMV"][top_bw]
+    assert series["Plus2"][top_bw] < 4.0

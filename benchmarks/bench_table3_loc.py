@@ -1,0 +1,43 @@
+"""Table 3 — lines of code: Stardust input vs generated Spatial.
+
+Regenerates the Table 3 LoC comparison (and the Section 8.3 SpMV
+productivity study: 10 input lines vs ~52 handwritten Spatial lines).
+Each per-kernel benchmark measures full compilation (schedule analysis,
+memory planning, lowering, code generation) on a small dataset.
+"""
+
+import pytest
+
+from benchmarks.conftest import TINY
+from repro.core import compile_stmt
+from repro.data import datasets_for, load
+from repro.eval.harness import format_table3, table3
+from repro.kernels import KERNEL_ORDER, KERNELS
+from repro.spatial.codegen import generate
+
+
+@pytest.mark.parametrize("name", KERNEL_ORDER)
+def test_compile_and_codegen(benchmark, name):
+    """Benchmark: full compilation pipeline for one kernel."""
+    spec = KERNELS[name]
+    dataset = datasets_for(name)[0]
+    tensors = load(name, dataset.name, scale=TINY)
+
+    def build():
+        stmt, _ = spec.build(tensors)
+        kernel = compile_stmt(stmt, name.lower())
+        return generate(kernel.program)
+
+    source = benchmark(build)
+    assert "Accel {" in source
+
+
+def test_report_table3(benchmark, report):
+    """Regenerate and print Table 3 (measured vs paper)."""
+    rows = benchmark.pedantic(table3, args=(TINY,), rounds=1, iterations=1)
+    report("Table 3 (E1/E6)", format_table3(rows))
+    # Qualitative shape: input programs are an order of magnitude smaller
+    # than the Spatial they generate, for every kernel.
+    for name, r in rows.items():
+        assert r["input_loc"] < r["spatial_loc"], name
+        assert r["input_loc"] <= 2 * r["paper_input_loc"], name

@@ -1,0 +1,38 @@
+"""Table 5 — Capstan resources required by the compiled kernels.
+
+Regenerates the resource-occupancy table (PCU/PMU/MC/shuffle counts and
+percentages, with the limiting resource highlighted). Benchmarks measure
+the resource-allocation pass itself.
+"""
+
+import pytest
+
+from benchmarks.conftest import TINY
+from repro.capstan import estimate_resources
+from repro.core import compile_stmt
+from repro.data import datasets_for, load
+from repro.eval.harness import format_table5, table5
+from repro.eval.paper_results import TABLE5_RESOURCES
+from repro.kernels import KERNEL_ORDER, KERNELS
+
+
+@pytest.mark.parametrize("name", KERNEL_ORDER)
+def test_estimate_resources(benchmark, name):
+    """Benchmark: resource allocation for one compiled kernel."""
+    spec = KERNELS[name]
+    tensors = load(name, datasets_for(name)[0].name, scale=TINY)
+    stmt, _ = spec.build(tensors)
+    kernel = compile_stmt(stmt, name)
+    est = benchmark(estimate_resources, kernel)
+    # The shuffle-network column reproduces Table 5 exactly.
+    assert est.shuffle == TABLE5_RESOURCES[name][4]
+
+
+def test_report_table5(benchmark, report):
+    """Regenerate and print Table 5 (measured vs paper)."""
+    results = benchmark.pedantic(table5, args=(TINY,), rounds=1, iterations=1)
+    report("Table 5 (E2)", format_table5(results))
+    # Qualitative shape checks against the paper's table.
+    assert results["Plus2"].pcu == min(r.pcu for r in results.values())
+    for name in ("SpMV", "MatTransMul", "Residual", "TTV"):
+        assert "Shuf" in results[name].limiting, name

@@ -1,0 +1,44 @@
+"""Shared configuration for the evaluation benchmarks.
+
+Dataset sizing: benchmarks default to REPRO_SCALE=0.25 (dimensions scaled
+to a quarter, densities preserved) so the whole suite regenerates every
+table and figure in a few minutes. Run with REPRO_SCALE=1.0 for the exact
+Table 4 configurations (what EXPERIMENTS.md records).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Dataset scale for the runtime benches.
+SCALE = float(os.environ.get("REPRO_SCALE", "0.25"))
+
+#: Tiny scale for structural artefacts (LoC, resources) that do not depend
+#: on dataset size.
+TINY = 0.02
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return SCALE
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a regenerated artefact past pytest's output capture, so the
+    tables and figures appear in the benchmark log for passing runs."""
+
+    def _report(title: str, text: str) -> None:
+        bar = "=" * 78
+        with capsys.disabled():
+            print(f"\n{bar}\n{title}\n{bar}\n{text}\n{bar}")
+
+    return _report
+
+
+def print_artifact(title: str, text: str) -> None:
+    """Plain (captured) artefact printer, for non-fixture contexts."""
+    bar = "=" * 78
+    print(f"\n{bar}\n{title}\n{bar}\n{text}\n{bar}")

@@ -1,0 +1,54 @@
+"""Compiling a long-tail kernel with no handwritten implementation.
+
+The paper's motivation (Sections 1 and 8.4): the value of a compiler is
+the long tail of sparse expressions nobody hand-writes for an accelerator.
+This example invents such a kernel — a sparsified row/column-bias update
+
+    Z(i,j) = M(i,j) * (r(i) + c(j)) + M(i,j)
+
+(e.g. an attention-mask style operation), schedules it, compiles it to
+Capstan, and verifies it — no Spatial, SARA, or Capstan expertise needed.
+
+Run:  python examples/custom_kernel.py
+"""
+
+import numpy as np
+
+from repro.capstan import HBM2E, CapstanSimulator
+from repro.core import compile_stmt
+from repro.formats import CSR, DENSE_VECTOR, offChip
+from repro.ir import index_vars
+from repro.tensor import Tensor, evaluate_dense, to_dense
+
+N, M_COLS = 48, 40
+rng = np.random.default_rng(5)
+M_dense = (rng.random((N, M_COLS)) < 0.12) * rng.random((N, M_COLS))
+
+M = Tensor("M", (N, M_COLS), CSR(offChip)).from_dense(M_dense)
+r = Tensor("r", (N,), DENSE_VECTOR(offChip)).from_dense(rng.random(N))
+c = Tensor("c", (M_COLS,), DENSE_VECTOR(offChip)).from_dense(rng.random(M_COLS))
+Z = Tensor("Z", (N, M_COLS), CSR(offChip))
+
+i, j = index_vars("i j")
+Z[i, j] = M[i, j] * (r[i] + c[j]) + M[i, j]
+
+stmt = (
+    Z.get_index_stmt()
+    .environment("innerPar", 16)
+    .environment("outerPar", 8)
+)
+
+kernel = compile_stmt(stmt, "bias_mask")
+print("=== Generated Spatial for the custom kernel ===")
+print(kernel.source)
+
+result = to_dense(kernel.run())
+reference = evaluate_dense(Z.get_assignment())
+assert np.allclose(result, reference)
+print("Functional check: OK")
+print(f"Output nnz mirrors the mask: {kernel.run().nnz} == {M.nnz}")
+
+res = CapstanSimulator().simulate(kernel, dram=HBM2E)
+print(f"Predicted Capstan (HBM2E) time: {res.seconds * 1e6:.2f} us "
+      f"(bottleneck: {res.bottleneck})")
+print(res.resources.row())

@@ -1,0 +1,76 @@
+"""The paper's running example: SDDMM, end to end (Sections 4-7).
+
+Reconstructs every intermediate artefact the paper shows for sampled
+dense-dense matrix multiplication:
+
+* the input program of Figure 5 (formats, algorithm, schedule),
+* the scheduled concrete index notation,
+* the Section 6 memory analysis (fine-grained array bindings),
+* the Figure 10 co-iteration rewrite trace,
+* the generated Spatial of Figure 11, and
+* the contrasting TACO-style imperative CPU code of Figure 4a.
+
+Run:  python examples/sddmm_walkthrough.py
+"""
+
+import numpy as np
+
+from repro.backends import lower_cpu
+from repro.core import compile_stmt
+from repro.formats import CSR, DENSE_MATRIX, DENSE_MATRIX_CM, offChip, onChip
+from repro.ir import format_stmt_tree, index_vars
+from repro.tensor import Tensor, evaluate_dense, scalar, to_dense
+
+# -- Figure 5: formats, tensors, algorithm -----------------------------------
+N, K = 32, 8
+rng = np.random.default_rng(1)
+B_dense = (rng.random((N, N)) < 0.15) * rng.random((N, N))
+
+A = Tensor("A", (N, N), CSR(offChip))
+B = Tensor("B", (N, N), CSR(offChip)).from_dense(B_dense)
+C = Tensor("C", (N, K), DENSE_MATRIX(offChip)).from_dense(rng.random((N, K)))
+D = Tensor("D", (K, N), DENSE_MATRIX_CM(offChip)).from_dense(rng.random((K, N)))
+
+i, j, k = index_vars("i j k")
+A[i, j] = B[i, j] * C[i, k] * D[k, j]
+
+# -- Figure 5 lines 16-24: the schedule ---------------------------------------
+ws = scalar("ws", onChip)
+stmt = (
+    A.get_index_stmt()
+    .environment("innerPar", 16)
+    .environment("outerPar", 2)
+    .precompute(B[i, j] * C[i, k] * D[k, j], [], [], ws)
+    .accelerate(k, "Spatial", "Reduction", par="innerPar")
+)
+
+print("=== Scheduled concrete index notation ===")
+print(format_stmt_tree(stmt.cin))
+print()
+
+# -- Compile ------------------------------------------------------------------
+kernel = compile_stmt(stmt, "sddmm")
+
+print("=== Memory analysis (Section 6.1 bindings) ===")
+print(kernel.memory_report())
+print()
+
+print("=== Co-iteration rewrite trace (Figure 10 rules) ===")
+for info in kernel.analysis.foralls:
+    print(f"  {info.strategy.describe()}")
+    for line in info.strategy.trace:
+        print(f"    {line}")
+print()
+
+print("=== Generated Spatial (compare Figure 11) ===")
+print(kernel.source)
+
+print("=== TACO-style imperative CPU code (compare Figure 4a) ===")
+print(lower_cpu(stmt, "sddmm"))
+
+# -- Verify -------------------------------------------------------------------
+result = to_dense(kernel.run())
+reference = evaluate_dense(A.get_assignment())
+assert np.allclose(result, reference)
+print("Functional check vs dense reference: OK")
+print(f"Output keeps B's sparsity: {kernel.run().nnz} == {B.nnz} stored values")

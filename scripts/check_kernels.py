@@ -1,0 +1,75 @@
+"""Development driver: run every Table 3 kernel on small random data and
+compare against the dense reference semantics."""
+
+import sys
+import traceback
+
+import numpy as np
+
+from repro.core import compile_stmt
+from repro.kernels import KERNELS
+from repro.tensor import Tensor, evaluate_dense, scalar, to_dense
+
+
+def sparse_dense(rng, shape, density=0.4):
+    return (rng.random(shape) < density) * rng.random(shape)
+
+
+def make_tensors(name, rng):
+    spec = KERNELS[name]
+    dims = {"SpMV": {"A": (7, 9), "x": (9,), "y": (7,)},
+            "Plus3": {"A": (6, 8), "B": (6, 8), "C": (6, 8), "D": (6, 8)},
+            "SDDMM": {"A": (6, 8), "B": (6, 8), "C": (6, 5), "D": (5, 8)},
+            "MatTransMul": {"A": (9, 7), "x": (9,), "z": (7,), "y": (7,),
+                            "alpha": (), "beta": ()},
+            "Residual": {"A": (7, 9), "x": (9,), "b": (7,), "y": (7,)},
+            "TTV": {"A": (4, 5), "B": (4, 5, 6), "c": (6,)},
+            "TTM": {"A": (4, 5, 3), "B": (4, 5, 6), "C": (3, 6)},
+            "MTTKRP": {"A": (4, 3), "B": (4, 5, 6), "C": (3, 5), "D": (3, 6)},
+            "InnerProd": {"alpha_out": (), "B": (4, 5, 6), "C": (4, 5, 6)},
+            "Plus2": {"A": (4, 5, 6), "B": (4, 5, 6), "C": (4, 5, 6)}}[name]
+    tensors = {}
+    for ts in spec.tensor_specs:
+        shape = dims[ts.name]
+        t = ts.make(shape)
+        if ts.role == "scalar":
+            t.insert((), 2.0 if ts.name == "alpha" else 3.0)
+        elif ts.role in ("sparse",):
+            t.from_dense(sparse_dense(rng, shape))
+        elif ts.role == "dense" or (ts.role == "output" and False):
+            t.from_dense(rng.random(shape))
+        tensors[ts.name] = t
+    return spec, tensors
+
+
+def main():
+    rng = np.random.default_rng(42)
+    failures = []
+    only = sys.argv[1:] or list(KERNELS)
+    for name in only:
+        spec, tensors = make_tensors(name, rng)
+        try:
+            stmt, out = spec.build(tensors)
+            kernel = compile_stmt(stmt, name.lower())
+            result = to_dense(kernel.run())
+            ref = evaluate_dense(out.get_assignment())
+            ok = np.allclose(result, ref)
+            print(f"{name:14s} loc={kernel.spatial_loc:4d} "
+                  f"{'OK' if ok else 'MISMATCH'}")
+            if not ok:
+                failures.append(name)
+                print("  result:", np.round(np.atleast_1d(result).ravel()[:8], 3))
+                print("  ref   :", np.round(np.atleast_1d(ref).ravel()[:8], 3))
+        except Exception as e:
+            failures.append(name)
+            print(f"{name:14s} ERROR: {e}")
+            if "-v" in sys.argv or len(only) == 1:
+                traceback.print_exc()
+    if failures:
+        print("FAILURES:", failures)
+        sys.exit(1)
+    print("all kernels OK")
+
+
+if __name__ == "__main__":
+    main()

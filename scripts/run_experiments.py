@@ -1,0 +1,46 @@
+"""Regenerate every evaluation artefact at full Table 4 scale.
+
+Writes the formatted tables/figures to results/ and prints them. This is
+the run recorded in EXPERIMENTS.md.
+
+Usage:  python scripts/run_experiments.py [scale]
+"""
+
+import sys
+import time
+from pathlib import Path
+
+from repro.eval.harness import (
+    figure12,
+    format_figure12,
+    format_table3,
+    format_table5,
+    format_table6,
+    table3,
+    table5,
+    table6,
+)
+
+OUT = Path(__file__).resolve().parent.parent / "results"
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+    OUT.mkdir(exist_ok=True)
+    artefacts = {}
+
+    t0 = time.time()
+    artefacts["table3.txt"] = format_table3(table3(0.02))
+    artefacts["table5.txt"] = format_table5(table5(0.02))
+    artefacts["table6.txt"] = format_table6(table6(scale))
+    artefacts["figure12.txt"] = format_figure12(figure12(scale))
+
+    for name, text in artefacts.items():
+        (OUT / name).write_text(text + "\n")
+        print(f"\n##### {name} (scale={scale if 'table6' in name or 'figure' in name else 'n/a'})")
+        print(text)
+    print(f"\nTotal time: {time.time() - t0:.1f}s; artefacts in {OUT}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Stardust reproduction: sparse tensor algebra → reconfigurable dataflow.
+
+Public API re-exports — the names a downstream user needs:
+
+>>> from repro import Tensor, index_vars, compile_stmt, CSR, offChip
+"""
+
+from repro.capstan import (
+    DDR4,
+    HBM2E,
+    IDEAL,
+    CapstanConfig,
+    CapstanSimulator,
+    compute_stats,
+    estimate_resources,
+)
+from repro.core import CompiledKernel, compile_stmt, compile_tensor
+from repro.formats import (
+    CSC,
+    CSF,
+    CSR,
+    DENSE_MATRIX,
+    DENSE_MATRIX_CM,
+    DENSE_VECTOR,
+    SPARSE_VECTOR,
+    UCC,
+    Format,
+    MemoryRegion,
+    MemoryType,
+    compressed,
+    dense,
+    offChip,
+    onChip,
+)
+from repro.ir import IndexVar, index_vars
+from repro.schedule import INNER_PAR, OUTER_PAR, REDUCTION, SPATIAL, IndexStmt
+from repro.tensor import Tensor, evaluate_dense, scalar, to_dense, vector
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSC",
+    "CSF",
+    "CSR",
+    "CapstanConfig",
+    "CapstanSimulator",
+    "CompiledKernel",
+    "DDR4",
+    "DENSE_MATRIX",
+    "DENSE_MATRIX_CM",
+    "DENSE_VECTOR",
+    "Format",
+    "HBM2E",
+    "IDEAL",
+    "INNER_PAR",
+    "IndexStmt",
+    "IndexVar",
+    "MemoryRegion",
+    "MemoryType",
+    "OUTER_PAR",
+    "REDUCTION",
+    "SPARSE_VECTOR",
+    "SPATIAL",
+    "Tensor",
+    "UCC",
+    "compile_stmt",
+    "compile_tensor",
+    "compressed",
+    "compute_stats",
+    "dense",
+    "estimate_resources",
+    "evaluate_dense",
+    "index_vars",
+    "offChip",
+    "onChip",
+    "scalar",
+    "to_dense",
+    "vector",
+]

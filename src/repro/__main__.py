@@ -1,0 +1,124 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``compile``  — compile an evaluation kernel on a dataset; print the
+  generated Spatial, the memory analysis, and (optionally) CPU C code.
+* ``simulate`` — predict runtime across platforms for a kernel+dataset.
+* ``kernels``  — list the evaluation kernels and their datasets.
+* ``tables``   — regenerate a table or figure of the paper.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_kernels(_args) -> int:
+    from repro.data import datasets_for
+    from repro.kernels import KERNEL_ORDER, KERNELS
+
+    print(f"{'kernel':14s}{'expression':50s}datasets")
+    for name in KERNEL_ORDER:
+        spec = KERNELS[name]
+        ds = ", ".join(d.name for d in datasets_for(name))
+        print(f"{name:14s}{spec.expression:50s}{ds}")
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    from repro.backends import lower_cpu
+    from repro.eval.harness import build_kernel
+
+    kernel = build_kernel(args.kernel, args.dataset, args.scale)
+    if args.memory_report:
+        print(kernel.memory_report())
+        print()
+    print(kernel.source)
+    print(f"// generated Spatial LoC: {kernel.spatial_loc}",
+          file=sys.stderr)
+    if args.cpu:
+        print()
+        print(lower_cpu(kernel.stmt, args.kernel.lower()))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.eval.harness import evaluate
+
+    times = evaluate(args.kernel, args.dataset, args.scale)
+    base = times.seconds["Capstan (HBM2E)"]
+    print(f"{args.kernel} on {args.dataset} (scale {args.scale}):")
+    for platform, seconds in times.seconds.items():
+        print(f"  {platform:34s}{seconds * 1e6:14.2f} us"
+              f"{seconds / base:10.2f}x")
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    from repro.eval import harness
+
+    artefact = args.artifact
+    if artefact == "table3":
+        print(harness.format_table3(harness.table3()))
+    elif artefact == "table5":
+        print(harness.format_table5(harness.table5()))
+    elif artefact == "table6":
+        print(harness.format_table6(harness.table6(args.scale)))
+    elif artefact == "figure12":
+        print(harness.format_figure12(harness.figure12(args.scale)))
+    else:  # pragma: no cover - argparse restricts choices
+        return 2
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Stardust reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("kernels", help="list evaluation kernels")
+
+    p_compile = sub.add_parser("compile", help="compile a kernel")
+    p_compile.add_argument("kernel")
+    p_compile.add_argument("--dataset", default=None)
+    p_compile.add_argument("--scale", type=float, default=0.05)
+    p_compile.add_argument("--cpu", action="store_true",
+                           help="also print TACO-style CPU C code")
+    p_compile.add_argument("--memory-report", action="store_true",
+                           help="print the Section 6 memory analysis")
+
+    p_sim = sub.add_parser("simulate", help="predict cross-platform runtime")
+    p_sim.add_argument("kernel")
+    p_sim.add_argument("--dataset", default=None)
+    p_sim.add_argument("--scale", type=float, default=0.25)
+
+    p_tab = sub.add_parser("tables", help="regenerate a table/figure")
+    p_tab.add_argument("artifact",
+                       choices=["table3", "table5", "table6", "figure12"])
+    p_tab.add_argument("--scale", type=float, default=0.25)
+
+    args = parser.parse_args(argv)
+
+    if getattr(args, "dataset", "unset") is None:
+        from repro.data import datasets_for
+
+        args.dataset = datasets_for(args.kernel)[0].name
+
+    handlers = {
+        "kernels": _cmd_kernels,
+        "compile": _cmd_compile,
+        "simulate": _cmd_simulate,
+        "tables": _cmd_tables,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # piping into `head` etc. is fine
+        sys.exit(0)

@@ -1,0 +1,24 @@
+"""Comparison backends: CPU (TACO), GPU (TACO-CUDA), handwritten Spatial."""
+
+from repro.backends.cpu import CpuBackend, CpuCodegen, lower_cpu
+from repro.backends.cpu_exec import CpuExecutor, execute_cpu
+from repro.backends.gpu import GpuBackend
+from repro.backends.handwritten import (
+    HANDWRITTEN_CAPSTAN_SPMV,
+    HandwrittenCapstanSpMV,
+    HandwrittenPlasticineSpMV,
+    handwritten_capstan_loc,
+)
+
+__all__ = [
+    "CpuBackend",
+    "CpuCodegen",
+    "CpuExecutor",
+    "GpuBackend",
+    "HANDWRITTEN_CAPSTAN_SPMV",
+    "HandwrittenCapstanSpMV",
+    "HandwrittenPlasticineSpMV",
+    "execute_cpu",
+    "handwritten_capstan_loc",
+    "lower_cpu",
+]

@@ -1,0 +1,52 @@
+"""The Capstan RDA model: architecture, DRAM, resources, and simulator."""
+
+from repro.capstan.arch import DEFAULT_CONFIG, CapstanConfig
+from repro.capstan.calibration import (
+    DEFAULT_COST,
+    DEFAULT_CPU,
+    DEFAULT_GPU,
+    DEFAULT_RESOURCES,
+    CapstanCostModel,
+    CpuModel,
+    GpuModel,
+    ResourceModel,
+)
+from repro.capstan.dram import (
+    DDR4,
+    FIG12_BANDWIDTHS,
+    HBM2E,
+    IDEAL,
+    DramModel,
+    custom_bandwidth,
+)
+from repro.capstan.network import NetworkModel
+from repro.capstan.resources import ResourceEstimate, estimate_resources
+from repro.capstan.simulator import CapstanSimulator, SimResult
+from repro.capstan.stats import LoopStats, WorkloadStats, compute_stats
+
+__all__ = [
+    "CapstanConfig",
+    "CapstanCostModel",
+    "CapstanSimulator",
+    "CpuModel",
+    "DDR4",
+    "DEFAULT_CONFIG",
+    "DEFAULT_COST",
+    "DEFAULT_CPU",
+    "DEFAULT_GPU",
+    "DEFAULT_RESOURCES",
+    "DramModel",
+    "FIG12_BANDWIDTHS",
+    "GpuModel",
+    "HBM2E",
+    "IDEAL",
+    "LoopStats",
+    "NetworkModel",
+    "ResourceEstimate",
+    "ResourceModel",
+    "SimResult",
+    "WorkloadStats",
+    "compute_stats",
+    "custom_bandwidth",
+    "estimate_resources",
+]

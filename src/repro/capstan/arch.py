@@ -1,0 +1,48 @@
+"""The Capstan architecture model (Section 3.2 and Section 8.2).
+
+Capstan (Rucker et al., MICRO '21) is a vectorised reconfigurable dataflow
+architecture derived from Plasticine: a grid of 200 pattern compute units
+(PCUs) and 200 pattern memory units (PMUs) ringed by 80 memory controllers
+(MCs), plus 16 shuffle networks for sparse cross-lane accesses. Each PCU
+has six pipeline stages and 16 vector lanes; each PMU has 16 banks of
+4096 32-bit words supporting one read and one write per bank per cycle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class CapstanConfig:
+    """Physical resource and timing parameters of the simulated chip."""
+
+    n_pcu: int = 200
+    n_pmu: int = 200
+    n_mc: int = 80
+    n_shuffle: int = 16
+    lanes: int = 16  # vector lanes per PCU
+    pcu_stages: int = 6  # pipeline stages per PCU
+    pmu_banks: int = 16
+    pmu_words_per_bank: int = 4096
+    word_bytes: int = 4
+    clock_hz: float = 1.6e9
+
+    @property
+    def pmu_bytes(self) -> int:
+        return self.pmu_banks * self.pmu_words_per_bank * self.word_bytes
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak fused multiply-add throughput (ops/s)."""
+        return self.n_pcu * self.lanes * self.clock_hz
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / self.clock_hz
+
+    def bytes_per_cycle(self, bandwidth_bytes_per_s: float) -> float:
+        return bandwidth_bytes_per_s / self.clock_hz
+
+
+#: The default chip used across the evaluation.
+DEFAULT_CONFIG = CapstanConfig()

@@ -1,0 +1,65 @@
+"""Off-chip memory models (Section 8.1 methodology).
+
+The paper evaluates Capstan with Ramulator-modelled DDR4-2133 (four
+channels) and HBM-2E at 1800 GB/s, plus an idealised network-and-memory
+configuration. This module provides analytic stand-ins: peak bandwidth,
+first-access latency, and an efficiency knob for short/irregular bursts
+(Ramulator's row-conflict behaviour collapsed into one factor).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+
+@dataclasses.dataclass(frozen=True)
+class DramModel:
+    """An analytic DRAM performance model."""
+
+    name: str
+    bandwidth_gb_s: float  # peak sequential bandwidth
+    latency_ns: float  # first-word latency per burst
+    burst_bytes: int = 64  # minimum efficient transfer granule
+    stream_efficiency: float = 0.85  # sustained fraction of peak for streams
+
+    @property
+    def is_ideal(self) -> bool:
+        return math.isinf(self.bandwidth_gb_s)
+
+    @property
+    def bytes_per_second(self) -> float:
+        return self.bandwidth_gb_s * 1e9
+
+    def transfer_seconds(self, total_bytes: float, bursts: float = 1.0) -> float:
+        """Time to move ``total_bytes`` across ``bursts`` separate requests.
+
+        Bursts below the granule pay full-granule cost; each burst adds a
+        latency term, pipelined eight-deep (memory-level parallelism).
+        """
+        if self.is_ideal:
+            return 0.0
+        effective_bytes = max(total_bytes, bursts * self.burst_bytes)
+        bw_time = effective_bytes / (self.bytes_per_second * self.stream_efficiency)
+        mlp = 8.0
+        latency_time = (bursts / mlp) * self.latency_ns * 1e-9
+        return bw_time + latency_time
+
+
+#: Four channels of DDR4-2133: 4 x 17.07 GB/s.
+DDR4 = DramModel("DDR4", 68.3, 80.0, stream_efficiency=0.88)
+
+#: HBM-2E at the paper's quoted 1800 GB/s.
+HBM2E = DramModel("HBM2E", 1800.0, 100.0, stream_efficiency=0.5)
+
+#: Ideal network and memory: no latency or throughput constraints.
+IDEAL = DramModel("Ideal", math.inf, 0.0)
+
+
+def custom_bandwidth(gb_s: float, name: str | None = None) -> DramModel:
+    """A DRAM model at an arbitrary bandwidth (the Figure 12 sweep)."""
+    return DramModel(name or f"{gb_s:g}GB/s", gb_s, 90.0, stream_efficiency=0.6)
+
+
+#: The Figure 12 sweep points (GB/s).
+FIG12_BANDWIDTHS = (20, 50, 100, 200, 500, 1000, 2000)

@@ -1,0 +1,48 @@
+"""On-chip network and shuffle model.
+
+The paper's simulator uses the scalable-interconnect model of Zhang et al.
+(ISCA '19) for delay and throughput. This reproduction collapses the
+network into the two constraints that shape the evaluation:
+
+* **shuffle throughput** — coordinate-indexed gathers and union-scan value
+  accesses cross PMU lanes through one of the 16 shuffle networks; each
+  serves one 16-lane vector per cycle, and using them caps outer
+  parallelism at 16 (Section 8.2);
+* **pattern launch latency** — each pattern launch pays a pipeline fill
+  that includes network hops between the PCUs and PMUs of its pipeline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.capstan.arch import CapstanConfig
+from repro.capstan.calibration import CapstanCostModel
+
+
+@dataclasses.dataclass(frozen=True)
+class NetworkModel:
+    """Shuffle and interconnect throughput/latency constraints."""
+
+    config: CapstanConfig
+    cost: CapstanCostModel
+
+    def effective_outer_par(self, outer_par: int, uses_shuffle: bool) -> int:
+        """Shuffle users cannot replicate beyond the 16 networks."""
+        if uses_shuffle:
+            return min(outer_par, self.config.n_shuffle)
+        return max(1, outer_par)
+
+    def gather_cycles(self, gather_elems: int, shuffle_count: int) -> float:
+        """Cycles to serve all shuffle-network gathers."""
+        if gather_elems == 0:
+            return 0.0
+        ports = max(1, shuffle_count)
+        rate = ports * self.cost.gather_per_shuffle_per_cycle
+        return gather_elems / rate
+
+    def segment_ii_cycles(self, ideal: bool) -> float:
+        """Steady-state initiation interval between segment launches,
+        including network transfer-issue stalls."""
+        base = self.cost.segment_ii_cycles
+        return base * self.cost.ideal_overhead_fraction if ideal else base

@@ -1,0 +1,40 @@
+"""The Stardust compiler core: analysis, memory planning, lowering."""
+
+from repro.core.coiteration import (
+    IterationStrategy,
+    LevelIterator,
+    LoweringError,
+    build_strategy,
+    iteration_algebra,
+)
+from repro.core.compiler import CompiledKernel, compile_stmt, compile_tensor
+from repro.core.lowering import Lowerer, lower
+from repro.core.memory_analysis import (
+    ArrayBinding,
+    KernelAnalysis,
+    MemoryPlan,
+    analyze,
+    plan_memory,
+)
+from repro.core.runner import bind_dram, bind_symbols, run_program
+
+__all__ = [
+    "ArrayBinding",
+    "CompiledKernel",
+    "IterationStrategy",
+    "KernelAnalysis",
+    "LevelIterator",
+    "Lowerer",
+    "LoweringError",
+    "MemoryPlan",
+    "analyze",
+    "bind_dram",
+    "bind_symbols",
+    "build_strategy",
+    "compile_stmt",
+    "compile_tensor",
+    "iteration_algebra",
+    "lower",
+    "plan_memory",
+    "run_program",
+]

@@ -1,0 +1,300 @@
+"""The co-iteration lowering rewrite system (Section 7, Figure 10).
+
+For every CIN ``forall``, the lowerer must decide how the hardware iterates
+the variable's slice of the sparse iteration space. The paper expresses
+this as a rewrite system over *iterator contraction sets*::
+
+    I = T1 ◦ T2 ◦ ... ◦ Tn,   ◦ ∈ {∪, ∩}
+
+where each ``Ti`` is the tensor level indexed by the forall variable and
+``◦`` comes from the expression structure (multiplication contributes ∩,
+addition ∪). Iterator formats are ``U`` (dense / universe), ``C``
+(compressed), and ``B`` (bit vector).
+
+This module builds the contraction set from the expression, then applies
+the Figure 10 rules — universe elimination, compressed-versus-universe
+locate, compressed→bit-vector conversion, two-vector scanners, and the
+largest-prefix base rule — producing an :class:`IterationStrategy` the
+Spatial lowerer turns into ``Foreach``/``Reduce``/``Scan`` patterns. Rule
+applications are recorded in :attr:`IterationStrategy.trace` so tests can
+assert which rewrites fired.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.formats.levels import LevelKind
+from repro.ir.index_notation import (
+    Access,
+    Add,
+    IndexExpr,
+    IndexVar,
+    Literal,
+    Mul,
+    Neg,
+    Sub,
+)
+
+
+class LoweringError(ValueError):
+    """The statement cannot be lowered to the declarative-sparse model."""
+
+
+@dataclasses.dataclass(frozen=True)
+class LevelIterator:
+    """One tensor level participating in a forall's iteration."""
+
+    access: Access
+    mode: int  # tensor mode indexed by the forall variable
+    level: int  # storage level holding that mode
+
+    @property
+    def tensor(self):
+        return self.access.tensor
+
+    @property
+    def level_format(self):
+        return self.tensor.format.level_format(self.level)
+
+    @property
+    def symbol(self) -> str:
+        """Figure 10 iterator-format symbol (U, C, or B)."""
+        if self.tensor.is_on_chip and self.level_format.is_compressed:
+            # On-chip workspaces keep compressed structure as bit vectors.
+            return "B"
+        return self.level_format.iterator_symbol
+
+    def __str__(self) -> str:
+        return f"{self.tensor.name}{self.level + 1}:{self.symbol}"
+
+
+# -- iteration algebra -------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class IterTerm:
+    """A node of the contraction-set algebra: leaf or ∪/∩ combination."""
+
+    op: Optional[str]  # None for leaves, "union" or "intersect" otherwise
+    leaf: Optional[LevelIterator] = None
+    a: Optional["IterTerm"] = None
+    b: Optional["IterTerm"] = None
+
+    def leaves(self) -> tuple[LevelIterator, ...]:
+        if self.op is None:
+            return (self.leaf,)
+        return self.a.leaves() + self.b.leaves()
+
+    def __str__(self) -> str:
+        if self.op is None:
+            return str(self.leaf)
+        sym = "∪" if self.op == "union" else "∩"
+        return f"({self.a} {sym} {self.b})"
+
+
+def _level_iterator(access: Access, ivar: IndexVar) -> Optional[LevelIterator]:
+    mode = access.mode_of(ivar)
+    if mode is None:
+        return None
+    level = access.tensor.format.level_of_mode(mode)
+    return LevelIterator(access, mode, level)
+
+
+def iteration_algebra(expr: IndexExpr, ivar: IndexVar) -> Optional[IterTerm]:
+    """Build the contraction-set expression of ``ivar`` over ``expr``.
+
+    Multiplication intersects its operands' iteration spaces; addition and
+    subtraction union them. Operands that do not involve ``ivar`` are
+    neutral and drop out (they are loop-invariant at this level).
+    """
+    if isinstance(expr, Access):
+        it = _level_iterator(expr, ivar)
+        return IterTerm(None, leaf=it) if it is not None else None
+    if isinstance(expr, Literal):
+        return None
+    if isinstance(expr, Neg):
+        return iteration_algebra(expr.a, ivar)
+    if isinstance(expr, (Add, Sub, Mul)):
+        a = iteration_algebra(expr.a, ivar)
+        b = iteration_algebra(expr.b, ivar)
+        if a is None:
+            return b
+        if b is None:
+            return a
+        op = "intersect" if isinstance(expr, Mul) else "union"
+        return IterTerm(op, a=a, b=b)
+    raise LoweringError(f"cannot analyse iteration of {type(expr).__name__}")
+
+
+# -- the rewrite result ---------------------------------------------------------
+
+
+@dataclasses.dataclass
+class IterationStrategy:
+    """How one forall lowers to the declarative-sparse model.
+
+    Attributes:
+        ivar: the forall variable.
+        kind: ``dense`` (counter loop over the universe), ``compressed``
+            (single compressed iterator), or ``scan`` (bit-vector
+            co-iteration of two sparse operands).
+        driving: the compressed/bit-vector iterators that drive iteration
+            (empty for dense; one for compressed; two for scan).
+        located: dense-level accesses resolved by coordinate (random access
+            / locate) rather than iterated.
+        op: ``and``/``or`` for scans, None otherwise.
+        result_iterator: the lhs iterator at this level, if the output has
+            a mode here (determines whether result positions are counted).
+        trace: rewrite-rule applications, in order (for tests and debug).
+    """
+
+    ivar: IndexVar
+    kind: str
+    driving: tuple[LevelIterator, ...]
+    located: tuple[LevelIterator, ...]
+    op: Optional[str] = None
+    result_iterator: Optional[LevelIterator] = None
+    trace: tuple[str, ...] = ()
+
+    @property
+    def result_compressed(self) -> bool:
+        return (
+            self.result_iterator is not None
+            and self.result_iterator.level_format.is_compressed
+        )
+
+    def describe(self) -> str:
+        names = ", ".join(str(d) for d in self.driving) or "U"
+        out = f" -> {self.result_iterator}" if self.result_iterator else ""
+        return f"forall {self.ivar.name}: {self.kind}[{names}]{out}"
+
+
+def _op_symbol(op: str) -> str:
+    return "and" if op == "intersect" else "or"
+
+
+def build_strategy(
+    ivar: IndexVar,
+    rhs_exprs: list[IndexExpr],
+    lhs_accesses: list[Access],
+) -> IterationStrategy:
+    """Apply the Figure 10 rewrite system for one forall variable.
+
+    ``rhs_exprs`` are the right-hand sides of every assignment dominated by
+    the forall (normally one); ``lhs_accesses`` the corresponding results.
+    """
+    trace: list[str] = []
+
+    terms = [t for e in rhs_exprs if (t := iteration_algebra(e, ivar)) is not None]
+    if len(terms) > 1:
+        # Multiple assignments under one forall co-iterate the union of
+        # their spaces; supported only when everything is dense below.
+        combined = terms[0]
+        for t in terms[1:]:
+            combined = IterTerm("union", a=combined, b=t)
+        term = combined
+    elif terms:
+        term = terms[0]
+    else:
+        term = None
+
+    result_iterator = None
+    for lhs in lhs_accesses:
+        it = _level_iterator(lhs, ivar)
+        if it is not None and not it.tensor.is_on_chip:
+            result_iterator = it
+            break
+        if it is not None and result_iterator is None:
+            result_iterator = it
+
+    if term is None:
+        # Only the result involves ivar: iterate its dense space.
+        trace.append("lowerIter[U] => Foreach/Reduce (result-only)")
+        return IterationStrategy(
+            ivar, "dense", (), (), None, result_iterator, tuple(trace)
+        )
+
+    leaves = term.leaves()
+    universes = tuple(l for l in leaves if l.symbol == "U")
+    sparse = tuple(l for l in leaves if l.symbol in ("C", "B"))
+
+    # -- Universe rules: U ∪ _ => U ; U ∩ U => U --------------------------------
+    if not sparse:
+        trace.append("lowerIter[U ∩/∪ U] => lowerIter(U) => Foreach/Reduce")
+        return IterationStrategy(
+            ivar, "dense", (), universes, None, result_iterator, tuple(trace)
+        )
+    if _has_union_with_universe(term):
+        # A union with the universe iterates the whole dimension; sparse
+        # operands become located (tested per-coordinate via bit vectors).
+        trace.append("lowerIter[U ∪ _] => lowerIter(U)")
+        return IterationStrategy(
+            ivar, "dense", (), leaves, None, result_iterator, tuple(trace)
+        )
+
+    # -- Compression rules: C ∩ U => C (locate the dense side) -------------------
+    if len(sparse) == 1:
+        it = sparse[0]
+        if universes:
+            trace.append(f"lowerIter[{it.symbol}1 ∩ U] => lowerIter({it.symbol}1)")
+        if it.symbol == "B":
+            trace.append("lowerIter[B1] => emit scanner, Foreach(pos)")
+            return IterationStrategy(
+                ivar, "scan", (it,), universes, "and", result_iterator, tuple(trace)
+            )
+        trace.append("lowerIter[C1] => emit Foreach(pos)")
+        return IterationStrategy(
+            ivar, "compressed", (it,), universes, None, result_iterator, tuple(trace)
+        )
+
+    # -- Co-iteration: C1 ◦ C2 => genBitvector; B1 ◦ B2 => scanner ---------------
+    if len(sparse) == 2:
+        op = _root_sparse_op(term)
+        for it in sparse:
+            if it.symbol == "C":
+                trace.append(f"lowerIter[C1 ◦ C2] => emit B = genBitvector({it.tensor.name})")
+        sym = _op_symbol(op)
+        trace.append(f"lowerIter[B1 {'∪' if sym == 'or' else '∩'} B2] => emit Foreach(Scan(..{sym}..))")
+        return IterationStrategy(
+            ivar, "scan", sparse, universes, sym, result_iterator, tuple(trace)
+        )
+
+    # -- Base rule: largest matching prefix ---------------------------------------
+    trace.append(
+        "lowerIter[_] base rule: no two-input match; schedule the expression "
+        "as iterated two-input contractions (the paper's Plus3 strategy)"
+    )
+    raise LoweringError(
+        f"forall {ivar.name} co-iterates {len(sparse)} sparse operands "
+        f"({term}); Capstan scanners combine at most two. Reshape the "
+        "computation with precompute into iterated two-input contractions."
+    )
+
+
+def _has_union_with_universe(term: IterTerm) -> bool:
+    if term.op is None:
+        return False
+    if term.op == "union":
+        for side in (term.a, term.b):
+            if side.op is None and side.leaf.symbol == "U":
+                return True
+            if side.op is not None and _has_union_with_universe(side):
+                return True
+        return False
+    return _has_union_with_universe(term.a) or _has_union_with_universe(term.b)
+
+
+def _root_sparse_op(term: IterTerm) -> str:
+    """The operator combining the two sparse leaves (after U-elimination)."""
+    if term.op is None:
+        raise LoweringError("expected a combination node")
+    a_sparse = any(l.symbol in ("C", "B") for l in term.a.leaves())
+    b_sparse = any(l.symbol in ("C", "B") for l in term.b.leaves())
+    if a_sparse and b_sparse:
+        return term.op
+    inner = term.a if a_sparse else term.b
+    if inner.op is None:
+        raise LoweringError("expected two sparse operands")
+    return _root_sparse_op(inner)

@@ -1,0 +1,91 @@
+"""The Stardust compiler facade.
+
+Combines the whole pipeline of Figure 1: a scheduled statement (tensor
+algebra expression + formats + schedule) is analysed, memory-planned,
+lowered through the co-iteration rewrite system to Spatial, and packaged
+as a :class:`CompiledKernel` that can render source text (Figure 11),
+execute functionally, or be handed to the Capstan simulator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+
+import numpy as np
+
+from repro.core.lowering import Lowerer
+from repro.core.memory_analysis import KernelAnalysis, MemoryPlan
+from repro.core.runner import run_program
+from repro.schedule.stmt import IndexStmt
+from repro.spatial import codegen
+from repro.spatial.ir import SpatialProgram
+from repro.tensor.storage import TensorStorage, to_dense
+from repro.tensor.tensor import Tensor
+
+
+@dataclasses.dataclass
+class CompiledKernel:
+    """A Stardust compilation result."""
+
+    name: str
+    stmt: IndexStmt
+    program: SpatialProgram
+    analysis: KernelAnalysis
+    plan: MemoryPlan
+
+    @functools.cached_property
+    def source(self) -> str:
+        """Generated Spatial source text (Figure 11 style)."""
+        return codegen.generate(self.program)
+
+    @property
+    def spatial_loc(self) -> int:
+        """Lines of generated Spatial (the Table 3 metric)."""
+        return codegen.count_loc(self.source)
+
+    @property
+    def tensors(self) -> dict[str, Tensor]:
+        named = {}
+        for t in (self.analysis.output, *self.analysis.inputs,
+                  *self.analysis.workspaces):
+            named[t.name] = t
+        return named
+
+    def run(self, **overrides: Tensor) -> TensorStorage:
+        """Execute the kernel functionally on the bound tensor data.
+
+        Keyword arguments replace input tensors by name (they must have
+        identical shapes and formats).
+        """
+        tensors = dict(self.tensors)
+        for name, t in overrides.items():
+            if name not in tensors:
+                raise KeyError(f"kernel has no tensor named {name!r}")
+            tensors[name] = t
+        return run_program(self.program, tensors, self.analysis.output.name)
+
+    def run_dense(self, **overrides: Tensor) -> np.ndarray:
+        """Execute and densify the result (convenience for tests)."""
+        return to_dense(self.run(**overrides))
+
+    def memory_report(self) -> str:
+        return self.plan.report()
+
+
+def compile_stmt(stmt: IndexStmt, name: str = "kernel") -> CompiledKernel:
+    """Compile a scheduled statement to a Spatial kernel."""
+    lowerer = Lowerer(stmt, name)
+    program = lowerer.lower()
+    return CompiledKernel(
+        name=name,
+        stmt=stmt,
+        program=program,
+        analysis=lowerer.analysis,
+        plan=lowerer.plan,
+    )
+
+
+def compile_tensor(result: Tensor, name: str | None = None) -> CompiledKernel:
+    """Compile the assignment recorded on a tensor with no schedule."""
+    return compile_stmt(result.get_index_stmt(), name or result.name)

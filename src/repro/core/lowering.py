@@ -1,0 +1,1088 @@
+"""Scheduled-CIN → Spatial lowering (Section 7.2).
+
+The lowerer recursively traverses the scheduled CIN tree and emits Spatial
+parallel patterns, driven by two analyses computed up front:
+
+* the per-forall :class:`~repro.core.coiteration.IterationStrategy`
+  (Figure 10 rewrite system), deciding dense counters vs. compressed
+  position loops vs. bit-vector scanners; and
+* the :class:`~repro.core.memory_analysis.MemoryPlan`, deciding which
+  physical memory each tensor sub-array occupies and at which loop level
+  its allocation and transfer are emitted (Section 6.2).
+
+Naming follows the paper's generated code (Figure 11): ``B2_pos`` is the
+position array of B's second storage level, ``B_vals`` its values array,
+``*_dram`` the off-chip copies, ``B1_dim`` the dimension of B's first
+storage level. Scan pattern-index binders end in ``_p`` (operand
+positions), which the segment-gating logic uses to recognise possibly
+invalid (union) parents.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Optional
+
+from repro.formats.memory import MemoryType
+from repro.ir.cin import (
+    CinAssign,
+    CinSequence,
+    CinStmt,
+    Forall,
+    FuseRel,
+    MapCall,
+    SplitDown,
+    SplitUp,
+    SuchThat,
+    Where,
+)
+from repro.ir.index_notation import (
+    Access,
+    Add,
+    IndexExpr,
+    IndexVar,
+    Literal,
+    Mul,
+    Neg,
+    Sub,
+)
+from repro.core.coiteration import LevelIterator, LoweringError
+from repro.core.memory_analysis import (
+    KernelAnalysis,
+    MemoryPlan,
+    analyze,
+    plan_memory,
+)
+from repro.schedule.stmt import INNER_PAR, OUTER_PAR, IndexStmt
+from repro.spatial.ir import (
+    Assign,
+    BitVectorDecl,
+    BitVectorOp,
+    DenseCounter,
+    DramDecl,
+    DramWrite,
+    Enq,
+    FifoDecl,
+    Foreach,
+    GenBitVector,
+    LoadBulk,
+    RegDecl,
+    RegWrite,
+    ReducePat,
+    SBin,
+    ScanCounter,
+    SDeq,
+    SExpr,
+    SLit,
+    SRead,
+    SRegRead,
+    SSelect,
+    SStmt,
+    SValid,
+    SVar,
+    SpatialProgram,
+    SramDecl,
+    SramWrite,
+    StoreBulk,
+    StreamStore,
+    TensorLayout,
+    sadd,
+    smul,
+    ssub,
+)
+
+#: Default FIFO depth in generated code (matches Figure 11).
+FIFO_DEPTH = 16
+
+#: On-chip staging capacity symbol used for SRAM declarations (Figure 11).
+NNZ_ACCEL_MAX = "nnz_accel_max"
+
+
+class Lowerer:
+    """Lowers one scheduled statement to a :class:`SpatialProgram`."""
+
+    def __init__(self, stmt: IndexStmt, name: str = "kernel") -> None:
+        self.stmt = stmt
+        self.name = name
+        self.analysis: KernelAnalysis = analyze(stmt)
+        self.plan: MemoryPlan = plan_memory(self.analysis)
+        self.env = dict(stmt.environment_vars)
+        self.symbols: dict[str, None] = {}
+        self.dram: list[DramDecl] = []
+        self.layouts: dict[str, TensorLayout] = {}
+        self.notes: list[str] = []
+        self._body_stack: list[list[SStmt]] = []
+        self._uid = itertools.count()
+        self.coord: dict[int, SExpr] = {}  # id(ivar) -> coordinate value
+        self.position: dict[tuple[int, int], SExpr] = {}  # (tensor, level) -> pos
+        self.value_of: dict[int, SExpr] = {}  # id(tensor) -> value expr
+        self.ws_bitvector: dict[int, str] = {}  # id(tensor) -> bv name
+        self.out_pos: dict[int, SExpr] = {}  # output level -> out position
+        self.seg_start: dict[tuple[int, int], SExpr] = {}  # scan segment bases
+        self.ws_out_pos: Optional[SExpr] = None
+        self._declared_regs: set[str] = set()
+        self._declared: set[str] = set()
+        self._dense_out_full = False
+        self._dim_symbol_cache: dict[int, str] = {}
+
+    # -- small helpers --------------------------------------------------------
+
+    def fresh(self, base: str) -> str:
+        return f"{base}_{next(self._uid)}"
+
+    def emit(self, stmt: SStmt) -> None:
+        self._body_stack[-1].append(stmt)
+
+    def emit_parent(self, stmt: SStmt) -> None:
+        """Emit into the enclosing buffer (before the pattern being built)."""
+        self._body_stack[-2].append(stmt)
+
+    def sym(self, name: str) -> SVar:
+        self.symbols[name] = None
+        return SVar(name)
+
+    def dim_symbol(self, tensor, level: int) -> SVar:
+        return self.sym(f"{tensor.name}{level + 1}_dim")
+
+    def nnz_symbol(self, tensor, level: int) -> SVar:
+        return self.sym(f"{tensor.name}{level + 1}_nnz")
+
+    def ivar_dim(self, ivar: IndexVar) -> SVar:
+        """Symbolic dimension of an index variable's iteration space."""
+        cached = self._dim_symbol_cache.get(id(ivar))
+        if cached is not None:
+            return SVar(cached)
+        candidates: list[tuple[bool, SVar]] = []
+        for asg in self.analysis.assignments:
+            for acc in (asg.lhs, *asg.rhs.accesses()):
+                mode = acc.mode_of(ivar)
+                if mode is not None:
+                    level = acc.tensor.format.level_of_mode(mode)
+                    candidates.append(
+                        (acc.tensor.is_on_chip, self.dim_symbol(acc.tensor, level))
+                    )
+        if not candidates:
+            raise LoweringError(f"no access binds a dimension for {ivar}")
+        candidates.sort(key=lambda c: c[0])  # prefer off-chip tensors
+        sym = candidates[0][1]
+        self._dim_symbol_cache[id(ivar)] = sym.name
+        return sym
+
+    # -- array / memory names ---------------------------------------------------
+
+    @staticmethod
+    def pos_name(tensor, level: int) -> str:
+        return f"{tensor.name}{level + 1}_pos"
+
+    @staticmethod
+    def crd_name(tensor, level: int) -> str:
+        return f"{tensor.name}{level + 1}_crd"
+
+    @staticmethod
+    def vals_name(tensor) -> str:
+        return f"{tensor.name}_vals"
+
+    @staticmethod
+    def bv_name(tensor, level: int) -> str:
+        return f"{tensor.name}{level + 1}_bv"
+
+    @staticmethod
+    def dram_name(onchip_name: str) -> str:
+        return f"{onchip_name}_dram"
+
+    # -- DRAM layout ----------------------------------------------------------
+
+    def _level_count_expr(self, tensor, level: int) -> SExpr:
+        """Symbolic number of positions at a storage level (-1 = root)."""
+        if level < 0:
+            return SLit(1)
+        fmt = tensor.format
+        if fmt.level_format(level).is_dense:
+            parent = self._level_count_expr(tensor, level - 1)
+            return smul(parent, self.dim_symbol(tensor, level))
+        return self.nnz_symbol(tensor, level)
+
+    def declare_tensor_dram(self, tensor, is_output: bool) -> None:
+        if tensor.is_on_chip:
+            return
+        layout = TensorLayout(tensor.name, tensor.order, {}, is_output)
+        if tensor.order == 0:
+            if is_output:
+                name = self.dram_name(self.vals_name(tensor))
+                self.dram.append(DramDecl(name, SLit(1), tensor.name, "vals"))
+                layout.arrays["vals"] = name
+            else:
+                self.sym(tensor.name)  # scalar inputs bind as host symbols
+            self.layouts[tensor.name] = layout
+            return
+        fmt = tensor.format
+        for level in range(fmt.order):
+            if not fmt.level_format(level).is_compressed:
+                continue
+            parent = self._level_count_expr(tensor, level - 1)
+            pos_dram = self.dram_name(self.pos_name(tensor, level))
+            crd_dram = self.dram_name(self.crd_name(tensor, level))
+            self.dram.append(
+                DramDecl(pos_dram, sadd(parent, SLit(1)), tensor.name, f"pos{level}")
+            )
+            self.dram.append(
+                DramDecl(crd_dram, self._level_count_expr(tensor, level),
+                         tensor.name, f"crd{level}")
+            )
+            layout.arrays[f"pos{level}"] = pos_dram
+            layout.arrays[f"crd{level}"] = crd_dram
+        vals_dram = self.dram_name(self.vals_name(tensor))
+        self.dram.append(
+            DramDecl(vals_dram, self._level_count_expr(tensor, fmt.order - 1),
+                     tensor.name, "vals")
+        )
+        layout.arrays["vals"] = vals_dram
+        self.layouts[tensor.name] = layout
+
+    # -- top level --------------------------------------------------------------
+
+    def lower(self) -> SpatialProgram:
+        out = self.analysis.output
+        self.declare_tensor_dram(out, is_output=True)
+        for t in self.analysis.inputs:
+            self.declare_tensor_dram(t, is_output=False)
+
+        accel: list[SStmt] = []
+        self._body_stack.append(accel)
+        self.emit_prelude()
+        self.lower_stmt(self._strip(self.stmt.cin))
+        self.emit_epilogue()
+        self._body_stack.pop()
+
+        self.notes.extend(self.plan.report().splitlines())
+        for info in self.analysis.foralls:
+            self.notes.extend(f"  {t}" for t in info.strategy.trace)
+        return SpatialProgram(
+            name=self.name,
+            env=dict(self.env),
+            symbols=tuple(self.symbols),
+            dram=tuple(self.dram),
+            accel=tuple(accel),
+            layouts=self.layouts,
+            notes=tuple(self.notes),
+        )
+
+    @staticmethod
+    def _strip(stmt: CinStmt) -> CinStmt:
+        while isinstance(stmt, SuchThat):
+            stmt = stmt.body
+        return stmt
+
+    def emit_prelude(self) -> None:
+        """Kernel-start allocations: position SRAMs, full stages, outputs."""
+        out = self.analysis.output
+        ip = self.env.get(INNER_PAR, 1)
+        for tensor in self.analysis.inputs:
+            if tensor.order == 0 or tensor.is_on_chip:
+                continue
+            fmt = tensor.format
+            for level in range(fmt.order):
+                if self.plan.get(tensor.name, f"pos{level}") is None:
+                    continue
+                name = self.pos_name(tensor, level)
+                size = sadd(self._level_count_expr(tensor, level - 1), SLit(1))
+                self.emit(SramDecl(name, size))
+                self.emit(LoadBulk(name, self.dram_name(name), SLit(0), size, par=ip))
+                self._declared.add(name)
+            vb = self.plan.get(tensor.name, "vals")
+            if vb is not None and vb.staged_full and vb.memory in (
+                MemoryType.SRAM_DENSE, MemoryType.SRAM_SPARSE
+            ):
+                name = self.vals_name(tensor)
+                size = self._level_count_expr(tensor, fmt.order - 1)
+                self.emit(SramDecl(name, size,
+                                   sparse=vb.memory is MemoryType.SRAM_SPARSE))
+                self.emit(LoadBulk(name, self.dram_name(name), SLit(0), size, par=ip))
+                self._declared.add(name)
+        if out.order > 0 and not out.is_on_chip:
+            fmt = out.format
+            for level in range(fmt.order):
+                if not fmt.level_format(level).is_compressed:
+                    continue
+                name = self.pos_name(out, level)
+                size = sadd(self._out_count_expr(level - 1), SLit(1))
+                self.emit(SramDecl(name, size))
+                self._declared.add(name)
+        if out.order == 0:
+            self._declare_reg(f"{out.name}_reg")
+        if out.order == 1 and out.format.is_all_dense:
+            name = self.vals_name(out)
+            self.emit(FifoDecl(name, FIFO_DEPTH))
+            self._declared.add(name)
+
+    def _declare_reg(self, reg: str) -> None:
+        self.emit(RegDecl(reg, 0.0))
+        self._declared_regs.add(reg)
+
+    def _out_count_expr(self, level: int) -> SExpr:
+        out = self.analysis.output
+        if level < 0:
+            return SLit(1)
+        fmt = out.format
+        if fmt.level_format(level).is_dense:
+            return smul(self._out_count_expr(level - 1), self.dim_symbol(out, level))
+        return self.nnz_symbol(out, level)
+
+    def emit_epilogue(self) -> None:
+        out = self.analysis.output
+        if out.is_on_chip:
+            return
+        if out.order == 0:
+            self.emit(DramWrite(self.dram_name(self.vals_name(out)), SLit(0),
+                                SRegRead(f"{out.name}_reg")))
+            return
+        fmt = out.format
+        ip = self.env.get(INNER_PAR, 1)
+        for level in range(fmt.order):
+            if not fmt.level_format(level).is_compressed:
+                continue
+            name = self.pos_name(out, level)
+            size = sadd(self._out_count_expr(level - 1), SLit(1))
+            self.emit(StoreBulk(self.dram_name(name), name, SLit(0), size, par=ip))
+        if out.order == 1 and fmt.is_all_dense:
+            self.emit(StreamStore(self.dram_name(self.vals_name(out)),
+                                  self.vals_name(out), SLit(0),
+                                  self.dim_symbol(out, 0)))
+        elif self._dense_out_full:
+            size = self._out_count_expr(fmt.order - 1)
+            self.emit(StoreBulk(self.dram_name(self.vals_name(out)),
+                                self.vals_name(out), SLit(0), size, par=ip))
+
+    # -- recursive statement lowering ---------------------------------------------
+
+    def lower_stmt(self, stmt: CinStmt) -> None:
+        if isinstance(stmt, SuchThat):
+            self.lower_stmt(stmt.body)
+        elif isinstance(stmt, Forall):
+            self.lower_forall(stmt)
+        elif isinstance(stmt, Where):
+            # Scalar workspaces produced on the right reset per evaluation
+            # of the where node: declare their registers in this scope.
+            for asg in stmt.producer.assignments():
+                t = asg.lhs.tensor
+                if t.is_on_chip and t.order == 0:
+                    reg = f"{t.name}_reg"
+                    self._declare_reg(reg)
+                    self.value_of[id(t)] = SRegRead(reg)
+            self.lower_stmt(stmt.producer)
+            self.lower_stmt(stmt.consumer)
+        elif isinstance(stmt, CinSequence):
+            for s in stmt.stmts:
+                self.lower_stmt(s)
+        elif isinstance(stmt, MapCall):
+            self.lower_mapcall(stmt)
+        elif isinstance(stmt, CinAssign):
+            self.lower_assign(stmt)
+        else:  # pragma: no cover - defensive
+            raise LoweringError(f"cannot lower {type(stmt).__name__}")
+
+    def lower_mapcall(self, node: MapCall) -> None:
+        if node.func == "BulkTransfer":
+            self._lower_bulk_transfer(node)
+            return
+        if node.func not in ("Reduction", "Reduce"):
+            raise LoweringError(
+                f"backend function {node.func!r} has no Spatial lowering rule"
+            )
+        inner = self._strip(node.original)
+        if not isinstance(inner, Forall):
+            raise LoweringError("Reduction maps a forall with an accumulation")
+        assigns = inner.assignments()
+        if len(assigns) != 1 or not assigns[0].accumulate:
+            raise LoweringError("Reduction requires a single accumulating body")
+        target = assigns[0].lhs.tensor
+        if not (target.is_on_chip and target.order == 0):
+            raise LoweringError(
+                "Reduction accumulates into an on-chip scalar workspace"
+            )
+        reg = f"{target.name}_reg"
+        if reg not in self._declared_regs:
+            self._declare_reg(reg)
+        self.value_of[id(target)] = SRegRead(reg)
+        self.lower_forall(inner, reduce_into=reg, reduce_par=node.par)
+
+    def _lower_bulk_transfer(self, node: MapCall) -> None:
+        """A ``forall(i) t1(i) = t2(i)`` copy mapped to a bulk load.
+
+        The Section 5.2 automatic pass: instead of a one-element-per-cycle
+        loop, emit an SRAM allocation plus a single LoadBulk covering the
+        slice (the coordinates above the copied mode are already bound).
+        """
+        inner = self._strip(node.original)
+        if not isinstance(inner, Forall) or not isinstance(
+            self._strip(inner.body), CinAssign
+        ):
+            raise LoweringError("BulkTransfer maps a single-assignment loop")
+        asg = self._strip(inner.body)
+        dst, src = asg.lhs.tensor, asg.rhs.tensor
+        dim = self.dim_symbol(src, src.format.order - 1)
+        name = self.vals_name(dst)
+        if name not in self._declared:
+            self.emit(SramDecl(name, dim))
+            self._declared.add(name)
+        self.emit(LoadBulk(name, self.dram_name(self.vals_name(src)),
+                           SLit(0), dim, par=self.env.get(INNER_PAR, 1)))
+        # Consumer reads address the SRAM by the copied mode's coordinate
+        # through the normal lower_access slice path.
+
+    # -- foralls -------------------------------------------------------------------
+
+    def _pattern_par(self, info) -> int:
+        if info.depth == 0:
+            return self.env.get(OUTER_PAR, 1)
+        if info.depth == self.analysis.max_depth:
+            return self.env.get(INNER_PAR, 1)
+        return 1
+
+    def lower_forall(self, forall: Forall, reduce_into: Optional[str] = None,
+                     reduce_par: Optional[int] = None) -> None:
+        info = self.analysis.info(forall.ivar)
+        par = reduce_par if reduce_par is not None else self._pattern_par(info)
+        kind = info.strategy.kind
+        if kind == "dense":
+            self._lower_dense_loop(forall, info, par, reduce_into)
+        elif kind == "compressed":
+            self._lower_compressed_loop(forall, info, par, reduce_into)
+        elif kind == "scan":
+            self._lower_scan_loop(forall, info, par, reduce_into)
+        else:  # pragma: no cover - defensive
+            raise LoweringError(f"unknown strategy kind {kind}")
+
+    # .. dense ....................................................................
+
+    def _lower_dense_loop(self, forall, info, par, reduce_into) -> None:
+        ivar = forall.ivar
+        strategy = info.strategy
+        length = self._dense_trip_count(ivar)
+        idx = ivar.name
+        counter = DenseCounter(length)
+        self._stage_slices_for_depth(info.depth)
+
+        out = self.analysis.output
+        elem_reg = None
+        result_it = strategy.result_iterator
+
+        out_var = None
+        if out.order == 1 and out.format.is_all_dense and not out.is_on_chip:
+            for asg in self.analysis.assignments:
+                if asg.lhs.tensor is out:
+                    out_var = asg.lhs.indices[0]
+                    break
+        had_out_coord = out_var is not None and id(out_var) in self.coord
+
+        body: list[SStmt] = []
+        self._body_stack.append(body)
+        self.coord[id(ivar)] = SVar(idx)
+        self._recombine_derived_coords(ivar)
+        # The element register streams out at the loop that completes the
+        # output coordinate binding (the root var's loop, or the innermost
+        # loop derived from it after split/fuse).
+        stream_elem = out_var is not None and not had_out_coord and (
+            id(out_var) in self.coord
+        )
+        for it in strategy.located:
+            self._bind_dense_position(it, SVar(idx))
+        row = None
+        if result_it is not None:
+            self._bind_output_dense(result_it, SVar(idx))
+            row = self._stage_output_row(result_it.level)
+        if stream_elem:
+            elem_reg = f"{out.name}_elem"
+            self.emit(RegDecl(elem_reg, 0.0))
+            self._declared_regs.add(elem_reg)
+        if reduce_into is None:
+            self.lower_stmt(forall.body)
+            if elem_reg is not None:
+                self.emit(Enq(self.vals_name(out), SRegRead(elem_reg)))
+            if row is not None:
+                self._store_output_row(result_it.level, row)
+            self._body_stack.pop()
+            self.emit(Foreach(counter, (idx,), tuple(body), par=par))
+        else:
+            value = self._reduce_value(forall.body)
+            self._body_stack.pop()
+            self.emit(ReducePat(reduce_into, counter, (idx,), tuple(body),
+                                value, "+", par=par))
+
+    def _recombine_derived_coords(self, ivar: IndexVar) -> None:
+        """Recover root coordinates from split/fuse-derived loop variables.
+
+        After ``split_up(i, io, ii, c)``, tensor accesses still index with
+        ``i``; once both ``io`` and ``ii`` are bound, ``i = io * c + ii``.
+        After ``fuse(io, ii, f)``, ``io = f / trip(ii)`` and
+        ``ii = f % trip(ii)``. Applied transitively.
+        """
+        prov = self.analysis.provenance
+        changed = True
+        while changed:
+            changed = False
+            for rel in prov.relations:
+                if isinstance(rel, (SplitUp, SplitDown)):
+                    outer = self.coord.get(id(rel.outer))
+                    inner = self.coord.get(id(rel.inner))
+                    if (outer is not None and inner is not None
+                            and id(rel.parent) not in self.coord):
+                        # The outer loop strides by the inner trip count:
+                        # the split factor for split_up, ceil(N/factor)
+                        # for split_down.
+                        stride = self._dense_trip_count(rel.inner)
+                        self.coord[id(rel.parent)] = sadd(
+                            smul(outer, stride), inner
+                        )
+                        changed = True
+                elif isinstance(rel, FuseRel):
+                    fused = self.coord.get(id(rel.fused))
+                    if fused is not None and id(rel.outer) not in self.coord:
+                        inner_trip = self._dense_trip_count(rel.inner)
+                        self.coord[id(rel.outer)] = SBin("/", fused, inner_trip)
+                        self.coord[id(rel.inner)] = SBin("%", fused, inner_trip)
+                        changed = True
+
+    def _dense_trip_count(self, ivar: IndexVar) -> SExpr:
+        prov = self.analysis.provenance
+        rel = prov.recombine(ivar)
+        if rel is None:
+            return self.ivar_dim(ivar)
+        relation, role = rel
+        if isinstance(relation, SplitUp):
+            if role == "inner":
+                return SLit(relation.factor)
+            parent = self._dense_trip_count(relation.parent)
+            return SBin("/", sadd(parent, SLit(relation.factor - 1)),
+                        SLit(relation.factor))
+        if isinstance(relation, SplitDown):
+            if role == "outer":
+                return SLit(relation.factor)
+            parent = self._dense_trip_count(relation.parent)
+            return SBin("/", sadd(parent, SLit(relation.factor - 1)),
+                        SLit(relation.factor))
+        assert isinstance(relation, FuseRel)
+        return smul(self._dense_trip_count(relation.outer),
+                    self._dense_trip_count(relation.inner))
+
+    def _bind_dense_position(self, it: LevelIterator, coord: SExpr) -> None:
+        tensor = it.tensor
+        parent = self.position.get((id(tensor), it.level - 1), SLit(0))
+        pos = sadd(smul(parent, self.dim_symbol(tensor, it.level)), coord)
+        self.position[(id(tensor), it.level)] = pos
+
+    def _bind_output_dense(self, it: LevelIterator, coord: SExpr) -> None:
+        parent = self.out_pos.get(it.level - 1, SLit(0))
+        self.out_pos[it.level] = sadd(
+            smul(parent, self.dim_symbol(it.tensor, it.level)), coord
+        )
+
+    # .. output row buffers (dense innermost level of a >=2-D output) ..............
+
+    def _stage_output_row(self, level: int) -> Optional[str]:
+        """If the output's next level is a trailing dense level, allocate a
+        row buffer in the current body; returns its name."""
+        out = self.analysis.output
+        fmt = out.format
+        if out.is_on_chip or out.order < 2:
+            return None
+        if level + 1 != fmt.order - 1:
+            return None
+        if not fmt.level_format(level + 1).is_dense:
+            return None
+        name = f"{out.name}_row"
+        self.emit(SramDecl(name, self.dim_symbol(out, level + 1)))
+        self._declared.add(name)
+        return name
+
+    def _store_output_row(self, level: int, row: str) -> None:
+        out = self.analysis.output
+        dim = self.dim_symbol(out, level + 1)
+        base = self.out_pos.get(level, SLit(0))
+        start = smul(base, dim)
+        end = smul(sadd(base, SLit(1)), dim)
+        self.emit(StoreBulk(self.dram_name(self.vals_name(out)), row,
+                            start, end, par=self.env.get(INNER_PAR, 1)))
+
+    # .. compressed (single driving iterator) .....................................
+
+    def _parent_position(self, it: LevelIterator) -> SExpr:
+        """Position of the parent level, recovering dense chains from bound
+        coordinates when no loop recorded them (split/fused loops)."""
+        recorded = self.position.get((id(it.tensor), it.level - 1))
+        if recorded is not None or it.level == 0:
+            return recorded if recorded is not None else SLit(0)
+        tensor = it.tensor
+        fmt = tensor.format
+        access = self._access_of_any(tensor)
+        pos: SExpr = SLit(0)
+        for level in range(it.level):
+            prior = self.position.get((id(tensor), level))
+            if prior is not None:
+                pos = prior
+                continue
+            if not fmt.level_format(level).is_dense:
+                raise LoweringError(
+                    f"compressed level {level} of {tensor.name} has no "
+                    "bound position"
+                )
+            coord = self.coord.get(id(access.indices[fmt.mode_of_level(level)]))
+            if coord is None:
+                raise LoweringError(
+                    f"coordinate for {tensor.name} level {level} unbound"
+                )
+            pos = sadd(smul(pos, self.dim_symbol(tensor, level)), coord)
+        return pos
+
+    def _access_of_any(self, tensor) -> Access:
+        for asg in self.analysis.assignments:
+            for acc in (asg.lhs, *asg.rhs.accesses()):
+                if acc.tensor is tensor:
+                    return acc
+        raise LoweringError(f"tensor {tensor.name} is never accessed")
+
+    def _segment(self, it: LevelIterator) -> tuple[SExpr, SExpr, SExpr]:
+        """(start, end, len) of the driving iterator's current segment."""
+        tensor = it.tensor
+        parent = self._parent_position(it)
+        pos_mem = self.pos_name(tensor, it.level)
+        prefix = f"{tensor.name}{it.level + 1}"
+        start_name = self.fresh(f"{prefix}_start")
+        len_name = self.fresh(f"{prefix}_len")
+        invalid = self._parent_may_be_invalid(parent)
+        gated = self._gate_parent(parent) if invalid else parent
+        self.emit(Assign(start_name, SRead(pos_mem, gated)))
+        raw_len = ssub(SRead(pos_mem, sadd(gated, SLit(1))), SVar(start_name))
+        if invalid:
+            raw_len = SSelect(self._parent_valid(parent), raw_len, SLit(0))
+        self.emit(Assign(len_name, raw_len))
+        start = SVar(start_name)
+        length = SVar(len_name)
+        return start, sadd(start, length), length
+
+    def _gate_parent(self, parent: SExpr) -> SExpr:
+        return SSelect(self._parent_valid(parent), parent, SLit(0))
+
+    @staticmethod
+    def _parent_may_be_invalid(parent: SExpr) -> bool:
+        return any(
+            isinstance(e, SVar) and e.name.endswith("_p") for e in parent.walk()
+        )
+
+    @staticmethod
+    def _parent_valid(parent: SExpr) -> SExpr:
+        for e in parent.walk():
+            if isinstance(e, SVar) and e.name.endswith("_p"):
+                return SValid(e)
+        raise LoweringError("no scan position in parent expression")
+
+    def _load_segment_stream(
+        self, it: LevelIterator, start: SExpr, end: SExpr, want_vals: bool
+    ) -> tuple[str, Optional[str]]:
+        """Allocate + load the crd (and optionally vals) segment arrays."""
+        tensor = it.tensor
+        crd = self.crd_name(tensor, it.level)
+        self.emit(FifoDecl(crd, FIFO_DEPTH))
+        self.emit(LoadBulk(crd, self.dram_name(crd), start, end, par=1))
+        vals = None
+        if want_vals:
+            vals = self.vals_name(tensor)
+            vb = self.plan.get(tensor.name, "vals")
+            if vb is not None and vb.memory is MemoryType.FIFO:
+                self.emit(FifoDecl(vals, FIFO_DEPTH))
+            else:
+                self.emit(SramDecl(vals, self.sym(NNZ_ACCEL_MAX),
+                                   sparse=vb is not None
+                                   and vb.memory is MemoryType.SRAM_SPARSE))
+            self.emit(LoadBulk(vals, self.dram_name(vals), start, end, par=1))
+        return crd, vals
+
+    @staticmethod
+    def _is_innermost_level(tensor, level: int) -> bool:
+        return level == tensor.format.order - 1
+
+    def _lower_compressed_loop(self, forall, info, par, reduce_into) -> None:
+        ivar = forall.ivar
+        it = info.strategy.driving[0]
+        tensor = it.tensor
+        self._stage_slices_for_depth(info.depth)
+        start, end, seg_len = self._segment(it)
+        want_vals = self._is_innermost_level(tensor, it.level)
+        crd_mem, vals_mem = self._load_segment_stream(it, start, end, want_vals)
+        out_state = self._begin_output_level(info)
+
+        idx = self.fresh(f"{ivar.name}q")
+        body: list[SStmt] = []
+        self._body_stack.append(body)
+        coord_name = ivar.name
+        self.emit(Assign(coord_name, SDeq(crd_mem)))
+        self.coord[id(ivar)] = SVar(coord_name)
+        if it.level + 1 < tensor.format.order:
+            pos_name = self.fresh(f"{tensor.name}{it.level + 1}_abs")
+            self.emit(Assign(pos_name, sadd(start, SVar(idx))))
+            self.position[(id(tensor), it.level)] = SVar(pos_name)
+        if vals_mem is not None:
+            vb = self.plan.get(tensor.name, "vals")
+            if vb is not None and vb.memory is MemoryType.FIFO:
+                hoist = f"{tensor.name}_hoisted"
+                self.emit(Assign(hoist, SDeq(vals_mem)))
+                self.value_of[id(tensor)] = SVar(hoist)
+            else:
+                self.value_of[id(tensor)] = SRead(vals_mem, SVar(idx))
+        for located in info.strategy.located:
+            self._bind_dense_position(located, SVar(coord_name))
+        row = None
+        result_it = info.strategy.result_iterator
+        if result_it is not None:
+            if result_it.level_format.is_compressed and out_state is not None:
+                self._bind_output_compressed(out_state, SVar(idx),
+                                             SVar(coord_name))
+            elif result_it.level_format.is_dense:
+                self._bind_output_dense(result_it, SVar(coord_name))
+            row = self._stage_output_row(result_it.level)
+
+        if reduce_into is None:
+            self.lower_stmt(forall.body)
+            if row is not None:
+                self._store_output_row(result_it.level, row)
+            self._body_stack.pop()
+            self.emit(Foreach(DenseCounter(seg_len), (idx,), tuple(body), par=par))
+        else:
+            value = self._reduce_value(forall.body)
+            self._body_stack.pop()
+            self.emit(ReducePat(reduce_into, DenseCounter(seg_len), (idx,),
+                                tuple(body), value, "+", par=par))
+        self._end_output_level(out_state, seg_len)
+
+    # .. scans (co-iteration) ......................................................
+
+    def _lower_scan_loop(self, forall, info, par, reduce_into) -> None:
+        ivar = forall.ivar
+        strategy = info.strategy
+        self._stage_slices_for_depth(info.depth)
+        dim = self.ivar_dim(ivar)
+
+        bv_names: list[str] = []
+        operands: list[tuple[LevelIterator, str]] = []
+        for it in strategy.driving:
+            if it.symbol == "B" and id(it.tensor) in self.ws_bitvector:
+                bv_names.append(self.ws_bitvector[id(it.tensor)])
+                operands.append((it, "ws"))
+                continue
+            start, end, seg_len = self._segment(it)
+            want_vals = self._is_innermost_level(it.tensor, it.level)
+            crd_mem, _vals = self._load_segment_stream(it, start, end, want_vals)
+            bv = self.bv_name(it.tensor, it.level)
+            self.emit(BitVectorDecl(bv, dim))
+            self.emit(GenBitVector(bv, crd_mem, seg_len))
+            bv_names.append(bv)
+            operands.append((it, "seg"))
+            self.seg_start[(id(it.tensor), it.level)] = start
+
+        op = strategy.op or "and"
+        result_it = strategy.result_iterator
+        result_ws = result_it is not None and result_it.tensor.is_on_chip
+        if result_ws and len(bv_names) == 2:
+            out_t = result_it.tensor
+            ws_bv = self.bv_name(out_t, result_it.level)
+            self.emit(BitVectorDecl(ws_bv, dim))
+            self.emit(BitVectorOp(ws_bv, bv_names[0], bv_names[1], op))
+            self.ws_bitvector[id(out_t)] = ws_bv
+
+        out_state = self._begin_output_level(info)
+        count_reg = None
+        counter = ScanCounter(bv_names[0],
+                              bv_names[1] if len(bv_names) > 1 else None,
+                              op, dim)
+        ivars = self._scan_binders(ivar, len(bv_names))
+        if strategy.result_compressed and not result_ws:
+            # First scanner loop: count result positions (Section 7.2).
+            count_reg = self.fresh(f"{ivar.name}_cnt")
+            self.emit(RegDecl(count_reg, 0.0))
+            self.emit(ReducePat(count_reg, counter, ivars, (), SLit(1),
+                                "+", par=par))
+
+        body: list[SStmt] = []
+        self._body_stack.append(body)
+        coord_var = SVar(ivars[-1])
+        self.coord[id(ivar)] = coord_var
+        saved_ws_out = self.ws_out_pos
+        for k, (it, kind) in enumerate(operands):
+            pvar = SVar(ivars[k])
+            if kind == "ws" or self._is_innermost_level(it.tensor, it.level):
+                self.value_of[id(it.tensor)] = self._gated_value(it, pvar, op)
+            if kind == "seg" and it.level + 1 < it.tensor.format.order:
+                base = self.seg_start[(id(it.tensor), it.level)]
+                self.position[(id(it.tensor), it.level)] = sadd(base, pvar)
+        for located in strategy.located:
+            self._bind_dense_position(located, coord_var)
+        row = None
+        if result_it is not None and not result_ws:
+            if result_it.level_format.is_compressed and out_state is not None:
+                self._bind_output_compressed(out_state, SVar(ivars[-2]), coord_var)
+            elif result_it.level_format.is_dense:
+                self._bind_output_dense(result_it, coord_var)
+            row = self._stage_output_row(result_it.level)
+        if result_ws:
+            self.ws_out_pos = SVar(ivars[-2])
+
+        if reduce_into is None:
+            self.lower_stmt(forall.body)
+            if row is not None:
+                self._store_output_row(result_it.level, row)
+            self._body_stack.pop()
+            self.emit(Foreach(counter, ivars, tuple(body), par=par))
+        else:
+            value = self._reduce_value(forall.body)
+            self._body_stack.pop()
+            self.emit(ReducePat(reduce_into, counter, ivars, tuple(body),
+                                value, "+", par=par))
+        self.ws_out_pos = saved_ws_out
+        cnt = SRegRead(count_reg) if count_reg is not None else None
+        self._end_output_level(out_state, cnt)
+
+    @staticmethod
+    def _scan_binders(ivar: IndexVar, n_ops: int) -> tuple[str, ...]:
+        base = ivar.name
+        if n_ops == 1:
+            return (f"{base}a_p", f"{base}_out", base)
+        return (f"{base}a_p", f"{base}b_p", f"{base}_out", base)
+
+    def _gated_value(self, it: LevelIterator, pvar: SVar, op: str) -> SExpr:
+        read = SRead(self.vals_name(it.tensor), pvar)
+        if op == "or":
+            return SSelect(SValid(pvar), read, SLit(0))
+        return read
+
+    # -- output handling ------------------------------------------------------------
+
+    def _begin_output_level(self, info) -> Optional[dict]:
+        """Prepare counters/FIFOs for a compressed output level."""
+        strategy = info.strategy
+        if not strategy.result_compressed:
+            return None
+        out = strategy.result_iterator.tensor
+        if out.is_on_chip:
+            return None
+        level = strategy.result_iterator.level
+        cnt_reg = f"{out.name}{level + 1}_cnt"
+        if cnt_reg not in self._declared_regs:
+            # Global running counter, declared once at the accel root.
+            self._body_stack[0].insert(0, RegDecl(cnt_reg, 0.0))
+            self._declared_regs.add(cnt_reg)
+        start_name = self.fresh(f"{out.name}{level + 1}_ostart")
+        self.emit(Assign(start_name, SRegRead(cnt_reg)))
+        crd_fifo = self.crd_name(out, level)
+        self.emit(FifoDecl(crd_fifo, FIFO_DEPTH))
+        vals_fifo = None
+        if self._is_innermost_level(out, level):
+            vals_fifo = self.vals_name(out)
+            self.emit(FifoDecl(vals_fifo, FIFO_DEPTH))
+        return {
+            "tensor": out,
+            "level": level,
+            "cnt_reg": cnt_reg,
+            "start": SVar(start_name),
+            "crd_fifo": crd_fifo,
+            "vals_fifo": vals_fifo,
+        }
+
+    def _bind_output_compressed(self, out_state: dict, seg_idx: SExpr,
+                                coord: SExpr) -> None:
+        level = out_state["level"]
+        self.out_pos[level] = sadd(out_state["start"], seg_idx)
+        self.emit(Enq(out_state["crd_fifo"], coord))
+
+    def _end_output_level(self, out_state: Optional[dict],
+                          cnt: Optional[SExpr]) -> None:
+        """After the loop: update the pos array, stream segments to DRAM."""
+        if out_state is None:
+            return
+        if cnt is None:
+            raise LoweringError("compressed output level without a count")
+        out = out_state["tensor"]
+        level = out_state["level"]
+        start = out_state["start"]
+        end_name = self.fresh(f"{out.name}{level + 1}_oend")
+        self.emit(Assign(end_name, sadd(start, cnt)))
+        parent = self.out_pos.get(level - 1, SLit(0))
+        self.emit(SramWrite(self.pos_name(out, level), sadd(parent, SLit(1)),
+                            SVar(end_name)))
+        self.emit(RegWrite(out_state["cnt_reg"], SVar(end_name)))
+        crd_dram = self.dram_name(self.crd_name(out, level))
+        self.emit(StreamStore(crd_dram, out_state["crd_fifo"], start, cnt))
+        if out_state["vals_fifo"] is not None:
+            vals_dram = self.dram_name(self.vals_name(out))
+            self.emit(StreamStore(vals_dram, out_state["vals_fifo"], start, cnt))
+
+    # -- staged dense slices -----------------------------------------------------------
+
+    def _stage_slices_for_depth(self, depth: int) -> None:
+        """Emit SRAM staging for dense-slice operands allocated here."""
+        for tensor in self.analysis.inputs:
+            if tensor.order == 0 or tensor.is_on_chip:
+                continue
+            vb = self.plan.get(tensor.name, "vals")
+            if vb is None or vb.memory is not MemoryType.SRAM_DENSE:
+                continue
+            if vb.staged_full or vb.alloc_depth != depth:
+                continue
+            name = self.vals_name(tensor)
+            fmt = tensor.format
+            access = self._access_of(tensor)
+            trailing_level = fmt.order - 1
+            trailing_dim = self.dim_symbol(tensor, trailing_level)
+            base: SExpr = SLit(0)
+            for level in range(trailing_level):
+                mode = fmt.mode_of_level(level)
+                coord = self.coord.get(id(access.indices[mode]))
+                if coord is None:
+                    raise LoweringError(
+                        f"slice of {tensor.name} staged before its "
+                        f"coordinates are bound"
+                    )
+                base = sadd(smul(base, self.dim_symbol(tensor, level)), coord)
+            start = smul(base, trailing_dim)
+            end = smul(sadd(base, SLit(1)), trailing_dim)
+            self.emit(SramDecl(name, trailing_dim))
+            self.emit(LoadBulk(name, self.dram_name(name), start, end,
+                               par=self.env.get(INNER_PAR, 1)))
+            self._declared.add(name)
+
+    def _access_of(self, tensor) -> Access:
+        for asg in self.analysis.assignments:
+            for acc in asg.rhs.accesses():
+                if acc.tensor is tensor:
+                    return acc
+        raise LoweringError(f"tensor {tensor.name} is never accessed")
+
+    # -- assignments -----------------------------------------------------------------
+
+    def _reduce_value(self, body: CinStmt) -> SExpr:
+        body = self._strip(body)
+        if not isinstance(body, CinAssign):
+            raise LoweringError("Reduce pattern bodies must be assignments")
+        return self.lower_expr(body.rhs)
+
+    def lower_assign(self, asg: CinAssign) -> None:
+        out = asg.lhs.tensor
+        value = self.lower_expr(asg.rhs)
+        if out.order == 0:
+            reg = f"{out.name}_reg"
+            if reg not in self._declared_regs:
+                self._declare_reg(reg)
+            self.emit(RegWrite(reg, value, accumulate=asg.accumulate))
+            self.value_of[id(out)] = SRegRead(reg)
+            return
+        if out.is_on_chip:
+            addr = self.ws_out_pos
+            if addr is None:
+                mode = out.format.mode_of_level(out.format.order - 1)
+                addr = self.coord.get(id(asg.lhs.indices[mode]))
+            if addr is None:
+                raise LoweringError("workspace write without a bound position")
+            name = self.vals_name(out)
+            if name not in self._declared:
+                dim = self.dim_symbol(out, out.order - 1)
+                self.emit_parent(SramDecl(
+                    name, dim, sparse=out.format.has_compressed_level))
+                self._declared.add(name)
+            self.emit(SramWrite(name, addr, value, accumulate=asg.accumulate))
+            return
+        fmt = out.format
+        inner_level = fmt.order - 1
+        if fmt.level_format(inner_level).is_compressed:
+            self.emit(Enq(self.vals_name(out), value))
+            return
+        if out.order == 1 and fmt.is_all_dense:
+            # Per-element register, enqueued once per outer iteration (the
+            # enclosing dense loop emits the enq).
+            reg = f"{out.name}_elem"
+            self.emit(RegWrite(reg, value, accumulate=asg.accumulate))
+            return
+        # Row-buffer accumulation (dense trailing level of a >=2-D output).
+        name = f"{out.name}_row"
+        if name in self._declared:
+            mode = fmt.mode_of_level(inner_level)
+            coordv = self.coord.get(id(asg.lhs.indices[mode]))
+            if coordv is None:
+                raise LoweringError("dense output coordinate unbound")
+            self.emit(SramWrite(name, coordv, value,
+                                accumulate=asg.accumulate,
+                                atomic=asg.accumulate))
+            return
+        # Fallback (derived loop variables, fused outputs): a whole-tensor
+        # buffer written at the flattened coordinate, bulk-stored at the end.
+        full = self.vals_name(out)
+        if full not in self._declared:
+            size = self._out_count_expr(fmt.order - 1)
+            self._body_stack[0].insert(0, SramDecl(full, size))
+            self._declared.add(full)
+            self._dense_out_full = True
+        addr: SExpr = SLit(0)
+        for level in range(fmt.order):
+            mode = fmt.mode_of_level(level)
+            coordv = self.coord.get(id(asg.lhs.indices[mode]))
+            if coordv is None:
+                raise LoweringError("dense output coordinate unbound")
+            addr = sadd(smul(addr, self.dim_symbol(out, level)), coordv)
+        self.emit(SramWrite(full, addr, value, accumulate=asg.accumulate,
+                            atomic=asg.accumulate))
+
+    # -- expressions --------------------------------------------------------------------
+
+    def lower_expr(self, expr: IndexExpr) -> SExpr:
+        if isinstance(expr, Literal):
+            return SLit(expr.value)
+        if isinstance(expr, Neg):
+            return ssub(SLit(0), self.lower_expr(expr.a))
+        if isinstance(expr, Add):
+            return sadd(self.lower_expr(expr.a), self.lower_expr(expr.b))
+        if isinstance(expr, Sub):
+            return ssub(self.lower_expr(expr.a), self.lower_expr(expr.b))
+        if isinstance(expr, Mul):
+            return smul(self.lower_expr(expr.a), self.lower_expr(expr.b))
+        if isinstance(expr, Access):
+            return self.lower_access(expr)
+        raise LoweringError(f"cannot lower expression {type(expr).__name__}")
+
+    def lower_access(self, access: Access) -> SExpr:
+        tensor = access.tensor
+        hoisted = self.value_of.get(id(tensor))
+        if hoisted is not None:
+            return hoisted
+        if tensor.order == 0:
+            return self.sym(tensor.name)
+        vb = self.plan.get(tensor.name, "vals")
+        if vb is None:
+            raise LoweringError(f"no memory binding for {tensor.name}.vals")
+        name = self.vals_name(tensor)
+        fmt = tensor.format
+        if vb.memory is MemoryType.SRAM_DENSE and not vb.staged_full:
+            mode = fmt.mode_of_level(fmt.order - 1)
+            coord = self.coord.get(id(access.indices[mode]))
+            if coord is None:
+                raise LoweringError(f"coordinate for {tensor.name} slice unbound")
+            return SRead(name, coord)
+        if vb.staged_full:
+            addr: SExpr = SLit(0)
+            for level in range(fmt.order):
+                mode = fmt.mode_of_level(level)
+                coord = self.coord.get(id(access.indices[mode]))
+                if coord is None:
+                    raise LoweringError(
+                        f"coordinate {access.indices[mode]} for "
+                        f"{tensor.name} unbound"
+                    )
+                addr = sadd(smul(addr, self.dim_symbol(tensor, level)), coord)
+            return SRead(name, addr)
+        raise LoweringError(
+            f"access {access} has no value binding at this point "
+            f"(vals in {vb.memory})"
+        )
+
+
+def lower(stmt: IndexStmt, name: str = "kernel") -> SpatialProgram:
+    """Lower a scheduled statement to a Spatial program."""
+    return Lowerer(stmt, name).lower()

@@ -1,0 +1,21 @@
+"""Evaluation datasets (Table 4) and synthetic generators."""
+
+from repro.data.datasets import (
+    DATASETS,
+    DATASETS_BY_NAME,
+    FACTOR_RANK,
+    SDDMM_K,
+    DatasetSpec,
+    datasets_for,
+    load,
+)
+
+__all__ = [
+    "DATASETS",
+    "DATASETS_BY_NAME",
+    "DatasetSpec",
+    "FACTOR_RANK",
+    "SDDMM_K",
+    "datasets_for",
+    "load",
+]

@@ -1,0 +1,186 @@
+"""The Table 4 evaluation datasets (synthetic substitutes).
+
+Each :class:`DatasetSpec` names one paper dataset, its dimensions and
+density, and which kernels consume it. :func:`load` materialises the
+tensors for a kernel at an optional ``scale`` (dimensions shrink by the
+factor; densities are preserved), so tests can run miniature versions of
+the exact evaluation configurations.
+
+Dense operand dimensions the paper leaves unspecified: SDDMM's factor
+rank ``K`` defaults to 256, TTM/MTTKRP's factor rank to 16 (typical for
+the ALS workloads the paper cites).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.data import generators as gen
+from repro.kernels.suite import KERNELS, KernelSpec
+from repro.tensor.tensor import Tensor
+
+#: Dense factor rank for SDDMM's C/D matrices.
+SDDMM_K = 256
+
+#: Dense factor rank for TTM's C and MTTKRP's C/D matrices.
+FACTOR_RANK = 16
+
+
+@dataclasses.dataclass(frozen=True)
+class DatasetSpec:
+    """One Table 4 dataset."""
+
+    name: str
+    kind: str  # matrix | tensor3
+    dims: tuple[int, ...]
+    density: float
+    kernels: tuple[str, ...]
+    generator: str  # generator function name
+    paper_source: str
+
+    def scaled_dims(self, scale: float) -> tuple[int, ...]:
+        if scale >= 1.0:
+            return self.dims
+        return tuple(max(8, int(round(d * scale))) for d in self.dims)
+
+    def nnz_estimate(self, scale: float = 1.0) -> int:
+        dims = self.scaled_dims(scale)
+        return max(1, int(round(math.prod(dims) * self.density)))
+
+
+MATRIX_KERNELS = ("SpMV", "SDDMM", "MatTransMul", "Residual")
+PLUS3_KERNELS = ("Plus3",)
+TENSOR_KERNELS = ("TTV", "TTM", "MTTKRP")
+TENSOR2_KERNELS = ("InnerProd", "Plus2")
+
+DATASETS: tuple[DatasetSpec, ...] = (
+    DatasetSpec("bcsstk30", "matrix", (28924, 28924), 2.48e-3,
+                MATRIX_KERNELS, "banded_symmetric", "SuiteSparse [10]"),
+    DatasetSpec("ckt11752_dc_1", "matrix", (49702, 49702), 1.35e-4,
+                MATRIX_KERNELS, "circuit", "SuiteSparse [10]"),
+    DatasetSpec("Trefethen_20000", "matrix", (20000, 20000), 1.39e-3,
+                MATRIX_KERNELS, "trefethen", "SuiteSparse [10]"),
+    DatasetSpec("random-1pct", "matrix", (800, 800), 0.01,
+                PLUS3_KERNELS, "uniform_matrix", "random (Table 4)"),
+    DatasetSpec("random-10pct", "matrix", (800, 800), 0.10,
+                PLUS3_KERNELS, "uniform_matrix", "random (Table 4)"),
+    DatasetSpec("random-50pct", "matrix", (800, 800), 0.50,
+                PLUS3_KERNELS, "uniform_matrix", "random (Table 4)"),
+    DatasetSpec("facebook", "tensor3", (1591, 63891, 63890), 1.14e-7,
+                TENSOR_KERNELS, "hub_tensor3", "Viswanath et al. [36]"),
+    DatasetSpec("random3-1pct", "tensor3", (200, 200, 200), 0.01,
+                TENSOR2_KERNELS, "uniform_tensor3", "random (Table 4)"),
+    DatasetSpec("random3-10pct", "tensor3", (200, 200, 200), 0.10,
+                TENSOR2_KERNELS, "uniform_tensor3", "random (Table 4)"),
+    DatasetSpec("random3-50pct", "tensor3", (200, 200, 200), 0.50,
+                TENSOR2_KERNELS, "uniform_tensor3", "random (Table 4)"),
+)
+
+DATASETS_BY_NAME = {d.name: d for d in DATASETS}
+
+
+def datasets_for(kernel: str) -> list[DatasetSpec]:
+    return [d for d in DATASETS if kernel in d.kernels]
+
+
+def _generate(spec: DatasetSpec, scale: float, rng: np.random.Generator):
+    dims = spec.scaled_dims(scale)
+    if spec.generator == "banded_symmetric":
+        return dims, gen.banded_symmetric(dims[0], spec.density, rng)
+    if spec.generator == "circuit":
+        return dims, gen.circuit(dims[0], spec.density, rng)
+    if spec.generator == "trefethen":
+        return dims, gen.trefethen(dims[0], rng)
+    if spec.generator == "uniform_matrix":
+        return dims, gen.uniform_matrix(dims[0], dims[1], spec.density, rng)
+    if spec.generator == "uniform_tensor3":
+        return dims, gen.uniform_tensor3(dims, spec.density, rng)
+    if spec.generator == "hub_tensor3":
+        return dims, gen.hub_tensor3(dims, spec.nnz_estimate(scale), rng)
+    raise KeyError(spec.generator)
+
+
+def load(
+    kernel_name: str,
+    dataset_name: str,
+    scale: float = 1.0,
+    seed: int = 7,
+) -> dict[str, Tensor]:
+    """Materialise a kernel's operand tensors for one dataset.
+
+    Sparse operands take the dataset's structure (with the paper's derived
+    variants for multi-operand kernels); dense operands are random; output
+    tensors are left empty.
+    """
+    spec = KERNELS[kernel_name]
+    dspec = DATASETS_BY_NAME[dataset_name]
+    if kernel_name not in dspec.kernels:
+        raise ValueError(f"{dataset_name} is not evaluated with {kernel_name}")
+    rng = np.random.default_rng(seed)
+    dims, (coords, vals) = _generate(dspec, scale, rng)
+
+    tensors: dict[str, Tensor] = {}
+    sparse_seen = 0
+    for ts in spec.tensor_specs:
+        shape = _shape_for(kernel_name, ts.name, ts.role, ts.order, dims)
+        t = ts.make(shape)
+        if ts.role == "scalar":
+            t.insert((), 2.0 if "alpha" in ts.name else 3.0)
+        elif ts.role == "dense":
+            t.from_dense(rng.random(shape))
+        elif ts.role == "sparse":
+            c, v = _variant(kernel_name, sparse_seen, coords, vals, shape, rng)
+            t.from_coo(c, v)
+            sparse_seen += 1
+        tensors[ts.name] = t
+    return tensors
+
+
+def _variant(kernel: str, index: int, coords, vals, shape, rng):
+    """Derived datasets for multi-sparse-operand kernels (Section 8.1)."""
+    if index == 0:
+        return coords, vals
+    if kernel == "Plus3":
+        # Rotate the columns right by one and two.
+        return gen.rotate_columns(coords, vals, shape[1], index)
+    if kernel in ("Plus2", "InnerProd"):
+        return gen.rotate_even_coords(coords, vals, shape[-1])
+    return coords, vals
+
+
+def _shape_for(kernel: str, name: str, role: str, order: int, dims) -> tuple:
+    """Operand shapes per kernel convention."""
+    if order == 0:
+        return ()
+    n = dims[0]
+    if kernel == "SpMV":
+        return {"A": (dims[0], dims[1]), "x": (dims[1],), "y": (dims[0],)}[name]
+    if kernel == "Plus3":
+        return (dims[0], dims[1])
+    if kernel == "SDDMM":
+        k = max(8, min(SDDMM_K, dims[0]))
+        return {"A": (dims[0], dims[1]), "B": (dims[0], dims[1]),
+                "C": (dims[0], k), "D": (k, dims[1])}[name]
+    if kernel == "MatTransMul":
+        return {"A": (dims[0], dims[1]), "x": (dims[0],),
+                "z": (dims[1],), "y": (dims[1],)}[name]
+    if kernel == "Residual":
+        return {"A": (dims[0], dims[1]), "x": (dims[1],),
+                "b": (dims[0],), "y": (dims[0],)}[name]
+    if kernel == "TTV":
+        return {"B": dims, "c": (dims[2],), "A": (dims[0], dims[1])}[name]
+    if kernel == "TTM":
+        r = max(4, min(FACTOR_RANK, dims[0]))
+        return {"B": dims, "C": (r, dims[2]),
+                "A": (dims[0], dims[1], r)}[name]
+    if kernel == "MTTKRP":
+        r = max(4, min(FACTOR_RANK, dims[0]))
+        return {"B": dims, "C": (r, dims[1]), "D": (r, dims[2]),
+                "A": (dims[0], r)}[name]
+    if kernel in ("InnerProd", "Plus2"):
+        return dims
+    raise KeyError(kernel)

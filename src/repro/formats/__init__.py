@@ -1,0 +1,54 @@
+"""The Stardust data-representation (format) language.
+
+Combines the per-dimension level formats of Chou et al. with the Stardust
+memory-region annotation of Section 5.1.
+"""
+
+from repro.formats.format import (
+    CSC,
+    CSF,
+    CSR,
+    DENSE_MATRIX,
+    DENSE_MATRIX_CM,
+    DENSE_VECTOR,
+    SPARSE_VECTOR,
+    UCC,
+    Format,
+    format_of,
+)
+from repro.formats.levels import (
+    LevelKind,
+    ModeFormat,
+    bit_vector,
+    compressed,
+    dense,
+    uncompressed,
+)
+from repro.formats.memory import MemoryRegion, MemoryType
+
+#: Paper-style aliases for memory regions (Figure 5 spells them this way).
+offChip = MemoryRegion.OFF_CHIP
+onChip = MemoryRegion.ON_CHIP
+
+__all__ = [
+    "CSC",
+    "CSF",
+    "CSR",
+    "DENSE_MATRIX",
+    "DENSE_MATRIX_CM",
+    "DENSE_VECTOR",
+    "SPARSE_VECTOR",
+    "UCC",
+    "Format",
+    "LevelKind",
+    "MemoryRegion",
+    "MemoryType",
+    "ModeFormat",
+    "bit_vector",
+    "compressed",
+    "dense",
+    "format_of",
+    "offChip",
+    "onChip",
+    "uncompressed",
+]

@@ -1,0 +1,154 @@
+"""Whole-tensor formats: mode formats + mode ordering + memory region.
+
+A :class:`Format` mirrors the Stardust input language of Figure 5::
+
+    Format csr_off({uncompressed, compressed}, offChip);
+    Format cm_off({uncompressed, uncompressed}, {1, 0}, offChip);
+
+i.e. an ordered list of per-level formats, an optional mode ordering
+(permutation mapping storage levels to tensor modes; ``{1, 0}`` stores a
+matrix column-major), and the Stardust memory-region annotation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+from repro.formats.levels import ModeFormat, compressed, dense
+from repro.formats.memory import MemoryRegion
+
+
+@dataclasses.dataclass(frozen=True)
+class Format:
+    """A tensor format in the Stardust data-representation language.
+
+    Attributes:
+        mode_formats: per-storage-level formats, outermost first.
+        mode_ordering: permutation of mode indices; ``mode_ordering[L]`` is
+            the tensor mode stored at level ``L``. Defaults to the identity
+            (row-major for matrices).
+        memory: coarse-grained memory pinning (Section 5.1).
+    """
+
+    mode_formats: tuple[ModeFormat, ...]
+    mode_ordering: tuple[int, ...] = ()
+    memory: MemoryRegion = MemoryRegion.OFF_CHIP
+
+    def __init__(
+        self,
+        mode_formats: Sequence[ModeFormat] = (),
+        mode_ordering: Sequence[int] | MemoryRegion | None = None,
+        memory: MemoryRegion | None = None,
+    ) -> None:
+        # Allow Format([...], offChip) without an explicit ordering, matching
+        # the paper's two- and three-argument constructor forms.
+        if isinstance(mode_ordering, MemoryRegion):
+            if memory is not None:
+                raise TypeError("memory region given twice")
+            memory = mode_ordering
+            mode_ordering = None
+        mode_formats = tuple(mode_formats)
+        if mode_ordering is None:
+            mode_ordering = tuple(range(len(mode_formats)))
+        else:
+            mode_ordering = tuple(int(m) for m in mode_ordering)
+        if sorted(mode_ordering) != list(range(len(mode_formats))):
+            raise ValueError(
+                f"mode_ordering {mode_ordering} is not a permutation of "
+                f"0..{len(mode_formats) - 1}"
+            )
+        object.__setattr__(self, "mode_formats", mode_formats)
+        object.__setattr__(self, "mode_ordering", mode_ordering)
+        object.__setattr__(self, "memory", memory or MemoryRegion.OFF_CHIP)
+
+    @property
+    def order(self) -> int:
+        """Number of tensor modes (dimensions)."""
+        return len(self.mode_formats)
+
+    @property
+    def is_on_chip(self) -> bool:
+        return self.memory.is_on_chip
+
+    @property
+    def is_all_dense(self) -> bool:
+        return all(mf.is_dense for mf in self.mode_formats)
+
+    @property
+    def has_compressed_level(self) -> bool:
+        return any(mf.is_compressed for mf in self.mode_formats)
+
+    def level_of_mode(self, mode: int) -> int:
+        """Storage level at which tensor mode ``mode`` is stored."""
+        return self.mode_ordering.index(mode)
+
+    def mode_of_level(self, level: int) -> int:
+        """Tensor mode stored at storage level ``level``."""
+        return self.mode_ordering[level]
+
+    def level_format(self, level: int) -> ModeFormat:
+        return self.mode_formats[level]
+
+    def with_memory(self, memory: MemoryRegion) -> "Format":
+        """The same format pinned to a different memory region."""
+        return Format(self.mode_formats, self.mode_ordering, memory)
+
+    def __str__(self) -> str:
+        levels = ", ".join(str(mf) for mf in self.mode_formats)
+        parts = ["{" + levels + "}"]
+        if self.mode_ordering != tuple(range(self.order)):
+            parts.append("{" + ", ".join(map(str, self.mode_ordering)) + "}")
+        parts.append(str(self.memory))
+        return f"Format({', '.join(parts)})"
+
+
+def _fmt(levels: Sequence[ModeFormat], ordering: Sequence[int] | None = None):
+    def make(memory: MemoryRegion = MemoryRegion.OFF_CHIP) -> Format:
+        return Format(levels, ordering, memory)
+
+    return make
+
+
+#: Compressed sparse row: dense rows, compressed columns.
+CSR = _fmt([dense, compressed])
+
+#: Compressed sparse column: column-major CSR.
+CSC = _fmt([dense, compressed], [1, 0])
+
+#: Fully dense row-major matrix.
+DENSE_MATRIX = _fmt([dense, dense])
+
+#: Fully dense column-major matrix (the paper's ``cm_off``).
+DENSE_MATRIX_CM = _fmt([dense, dense], [1, 0])
+
+#: Dense vector.
+DENSE_VECTOR = _fmt([dense])
+
+#: Compressed (sparse) vector.
+SPARSE_VECTOR = _fmt([compressed])
+
+#: Compressed sparse fiber for 3-tensors.
+CSF = _fmt([compressed, compressed, compressed])
+
+#: The CSR-like uncompressed-compressed-compressed 3-tensor format used for
+#: InnerProd and Plus2 in the evaluation (Section 8.1).
+UCC = _fmt([dense, compressed, compressed])
+
+
+def format_of(name: str, memory: MemoryRegion = MemoryRegion.OFF_CHIP) -> Format:
+    """Look up a named format constructor (used by the kernel suite)."""
+    table = {
+        "csr": CSR,
+        "csc": CSC,
+        "dense2": DENSE_MATRIX,
+        "dense2_cm": DENSE_MATRIX_CM,
+        "dense1": DENSE_VECTOR,
+        "sparse1": SPARSE_VECTOR,
+        "csf": CSF,
+        "ucc": UCC,
+    }
+    try:
+        return table[name.lower()](memory)
+    except KeyError:
+        raise KeyError(f"unknown format name {name!r}; choose from {sorted(table)}")

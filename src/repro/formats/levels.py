@@ -1,0 +1,100 @@
+"""Per-dimension (level) formats of the Chou et al. format language.
+
+A tensor format is a list of *mode formats*, one per dimension, each
+describing how the coordinates of that dimension are stored. Stardust (and
+this reproduction) supports the two formats used throughout the paper —
+``dense`` (uncompressed) and ``compressed`` — plus the ``bit_vector``
+format that Capstan's declarative-sparse hardware consumes (Section 7.1).
+
+In the co-iteration rewrite system of Figure 10, mode formats map onto
+iterator symbols: dense levels are the universe ``U``, compressed levels are
+``C`` and bit-vector levels are ``B``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class LevelKind(enum.Enum):
+    """The storage discipline of one tensor dimension."""
+
+    DENSE = "uncompressed"
+    COMPRESSED = "compressed"
+    BIT_VECTOR = "bitvector"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclasses.dataclass(frozen=True)
+class ModeFormat:
+    """The format of a single tensor mode (dimension).
+
+    Attributes:
+        kind: storage discipline for this level.
+        ordered: coordinates within a position segment appear in sorted
+            order. All formats in the paper are ordered.
+        unique: no coordinate repeats within a segment.
+    """
+
+    kind: LevelKind
+    ordered: bool = True
+    unique: bool = True
+
+    @property
+    def is_dense(self) -> bool:
+        return self.kind is LevelKind.DENSE
+
+    @property
+    def is_compressed(self) -> bool:
+        return self.kind is LevelKind.COMPRESSED
+
+    @property
+    def is_bit_vector(self) -> bool:
+        return self.kind is LevelKind.BIT_VECTOR
+
+    @property
+    def iterator_symbol(self) -> str:
+        """Iterator-format symbol used by the Figure 10 rewrite system."""
+        if self.is_dense:
+            return "U"
+        if self.is_compressed:
+            return "C"
+        return "B"
+
+    def arrays(self) -> tuple[str, ...]:
+        """Names of the sub-arrays this level format owns.
+
+        Dense levels store no explicit arrays (only the dimension size);
+        compressed levels store ``pos`` and ``crd`` arrays; bit-vector
+        levels store a packed occupancy word stream.
+        """
+        if self.is_dense:
+            return ()
+        if self.is_compressed:
+            return ("pos", "crd")
+        return ("bv",)
+
+    def __str__(self) -> str:
+        flags = []
+        if not self.ordered:
+            flags.append("unordered")
+        if not self.unique:
+            flags.append("non-unique")
+        suffix = f"({', '.join(flags)})" if flags else ""
+        return f"{self.kind.value}{suffix}"
+
+
+#: The uncompressed (dense) mode format: coordinates are implicit in [0, N).
+dense = ModeFormat(LevelKind.DENSE)
+
+#: Alias used by the paper's input language (Figure 5 uses "uncompressed").
+uncompressed = dense
+
+#: The compressed mode format: explicit ``pos``/``crd`` arrays (CSR-style).
+compressed = ModeFormat(LevelKind.COMPRESSED)
+
+#: The packed bit-vector mode format consumed by Capstan's scanners.
+bit_vector = ModeFormat(LevelKind.BIT_VECTOR)

@@ -1,0 +1,92 @@
+"""Memory regions and physical memory types for the Stardust format language.
+
+The paper (Section 5.1) extends the format language of Chou et al. with a
+*memory location* property: a tensor is either globally visible off-chip
+(host DRAM) or local to the accelerator (on-chip). This coarse-grained
+placement is the only memory decision an end user makes; the fine-grained
+binding of each format sub-array (positions, coordinates, values) to a
+*physical* memory type is performed automatically by the memory analysis of
+Section 6 (see :mod:`repro.core.memory_analysis`).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class MemoryRegion(enum.Enum):
+    """Coarse-grained memory pinning: where a tensor lives in the hierarchy.
+
+    ``OFF_CHIP`` tensors are allocated in host-visible DRAM and are globally
+    accessible to every backend participating in a computation. ``ON_CHIP``
+    tensors are local to a single accelerator and must be filled by explicit
+    transfers before use.
+    """
+
+    OFF_CHIP = "offChip"
+    ON_CHIP = "onChip"
+
+    @property
+    def is_on_chip(self) -> bool:
+        return self is MemoryRegion.ON_CHIP
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class MemoryType(enum.Enum):
+    """Fine-grained physical memory types available on the Capstan RDA.
+
+    These mirror the six binding targets enumerated in Section 6.1 of the
+    paper, plus the host-side staging region. The memory analysis binds each
+    tensor sub-array to exactly one of these.
+
+    * ``DRAM_DENSE`` — off-chip arrays with affine/bulk access, host
+      initialised.
+    * ``DRAM_SPARSE`` — off-chip arrays accessed with random single-element
+      requests (no identifiable working set to stage on chip).
+    * ``SRAM_DENSE`` — on-chip scratchpad for affine access patterns
+      (position arrays, dense values arrays).
+    * ``SRAM_SPARSE`` — on-chip scratchpad for small fixed-size arrays with
+      reuse but random access (supports atomics).
+    * ``BIT_VECTOR`` — packed on-chip integer streams holding compressed
+      coordinate occupancy, generated for compressed-compressed co-iteration.
+    * ``FIFO`` — streaming buffers for strictly in-order, use-once traversal
+      (coordinate arrays and in-order values arrays).
+    * ``REGISTER`` — on-chip scalars (reduction accumulators, loop-carried
+      values).
+    """
+
+    DRAM_DENSE = "DenseDRAM"
+    DRAM_SPARSE = "SparseDRAM"
+    SRAM_DENSE = "DenseSRAM"
+    SRAM_SPARSE = "SparseSRAM"
+    BIT_VECTOR = "BitVector"
+    FIFO = "FIFO"
+    REGISTER = "Register"
+
+    @property
+    def is_off_chip(self) -> bool:
+        return self in (MemoryType.DRAM_DENSE, MemoryType.DRAM_SPARSE)
+
+    @property
+    def is_on_chip(self) -> bool:
+        return not self.is_off_chip
+
+    @property
+    def supports_random_access(self) -> bool:
+        """Whether single elements may be read at arbitrary addresses."""
+        return self in (
+            MemoryType.DRAM_DENSE,
+            MemoryType.DRAM_SPARSE,
+            MemoryType.SRAM_DENSE,
+            MemoryType.SRAM_SPARSE,
+        )
+
+    @property
+    def is_streaming(self) -> bool:
+        """Whether the memory imposes strictly in-order, use-once access."""
+        return self in (MemoryType.FIFO, MemoryType.BIT_VECTOR)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value

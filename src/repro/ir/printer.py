@@ -1,0 +1,88 @@
+"""Pretty-printer for CIN statements, matching the paper's notation.
+
+Renders trees in the style of Figure 6::
+
+    forall(i) forall(j) (forall(k) A(i,j) += B(i,j) * Con(k) * Don(k)
+      where forall(k) Con(k) = C(i,k)
+      where forall(k) Don(k) = D(k,j))
+"""
+
+from __future__ import annotations
+
+from repro.ir.cin import (
+    CinAssign,
+    CinSequence,
+    CinStmt,
+    Forall,
+    MapCall,
+    SuchThat,
+    Where,
+)
+
+_FORALL = "forall"
+
+
+def format_stmt(stmt: CinStmt, unicode_forall: bool = False) -> str:
+    """Render a CIN statement as a single-line string."""
+    sym = "∀" if unicode_forall else _FORALL
+
+    def fmt(s: CinStmt) -> str:
+        if isinstance(s, Forall):
+            par = f" par={s.parallel}" if s.parallel != 1 else ""
+            head = f"{sym}({s.ivar.name}{par})" if not unicode_forall else f"{sym}{s.ivar.name}"
+            return f"{head} {fmt(s.body)}"
+        if isinstance(s, CinAssign):
+            op = "+=" if s.accumulate else "="
+            return f"{s.lhs} {op} {s.rhs}"
+        if isinstance(s, Where):
+            return f"({fmt(s.consumer)} where {fmt(s.producer)})"
+        if isinstance(s, CinSequence):
+            return "; ".join(fmt(x) for x in s.stmts)
+        if isinstance(s, SuchThat):
+            rels = ", ".join(str(r) for r in s.relations)
+            return f"{fmt(s.body)} s.t. {rels}"
+        if isinstance(s, MapCall):
+            tensors = ", ".join(t.name for t in s.tensors)
+            return f"{s.func}[{s.backend}]({tensors}, par={s.par})"
+        raise TypeError(f"cannot format {type(s).__name__}")
+
+    return fmt(stmt)
+
+
+def format_stmt_tree(stmt: CinStmt, indent: str = "  ") -> str:
+    """Render a CIN statement as an indented multi-line tree (debugging)."""
+
+    lines: list[str] = []
+
+    def walk(s: CinStmt, depth: int) -> None:
+        pad = indent * depth
+        if isinstance(s, Forall):
+            par = f" par={s.parallel}" if s.parallel != 1 else ""
+            lines.append(f"{pad}forall {s.ivar.name}{par}")
+            walk(s.body, depth + 1)
+        elif isinstance(s, CinAssign):
+            op = "+=" if s.accumulate else "="
+            lines.append(f"{pad}{s.lhs} {op} {s.rhs}")
+        elif isinstance(s, Where):
+            lines.append(f"{pad}where")
+            lines.append(f"{pad}{indent}consumer:")
+            walk(s.consumer, depth + 2)
+            lines.append(f"{pad}{indent}producer:")
+            walk(s.producer, depth + 2)
+        elif isinstance(s, CinSequence):
+            lines.append(f"{pad}sequence")
+            for x in s.stmts:
+                walk(x, depth + 1)
+        elif isinstance(s, SuchThat):
+            rels = ", ".join(str(r) for r in s.relations)
+            lines.append(f"{pad}suchthat [{rels}]")
+            walk(s.body, depth + 1)
+        elif isinstance(s, MapCall):
+            tensors = ", ".join(t.name for t in s.tensors)
+            lines.append(f"{pad}map {s.func}@{s.backend}({tensors}, par={s.par})")
+            walk(s.original, depth + 1)
+        else:
+            raise TypeError(f"cannot format {type(s).__name__}")
+
+    walk(stmt, 0)
+    return "\n".join(lines)

@@ -1,0 +1,13 @@
+"""The evaluation kernel suite (Table 3)."""
+
+from repro.kernels.suite import CCD, DCSR, KERNEL_ORDER, KERNELS, KernelSpec, TensorSpec, get_kernel
+
+__all__ = [
+    "CCD",
+    "DCSR",
+    "KERNEL_ORDER",
+    "KERNELS",
+    "KernelSpec",
+    "TensorSpec",
+    "get_kernel",
+]

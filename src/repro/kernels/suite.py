@@ -1,0 +1,498 @@
+"""The evaluation kernel suite: the ten expressions of Table 3.
+
+Each :class:`KernelSpec` bundles the tensor-algebra expression, the formats
+(including Stardust memory regions), and the schedule used to map the
+kernel to Capstan, mirroring how the paper's evaluation drives Stardust.
+Builders take pre-packed tensors so the same definitions serve tiny
+correctness tests and full-size Table 4 datasets.
+
+Scheduling notes (Section 8.1):
+
+* reductions are precomputed into an on-chip scalar workspace and
+  accelerated onto Spatial's ``Reduce`` pattern (Figure 5);
+* Plus3 is mapped as an *iterated two-input addition* via an on-chip
+  sparse-vector workspace, because mapping it natively would co-iterate
+  three compressed operands (beyond Capstan's two-input scanners);
+* TTM and MTTKRP reorder their loops so the innermost (vectorised) loop is
+  dense, which keeps their dense-factor accesses affine (no shuffle
+  network), matching Table 5's resource profile.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+
+from repro.formats import (
+    CSC,
+    CSF,
+    CSR,
+    DENSE_MATRIX,
+    DENSE_MATRIX_CM,
+    DENSE_VECTOR,
+    SPARSE_VECTOR,
+    UCC,
+    Format,
+    compressed,
+    dense,
+    offChip,
+    onChip,
+)
+from repro.ir import index_vars
+from repro.schedule.stmt import INNER_PAR, OUTER_PAR, REDUCTION, SPATIAL, IndexStmt
+from repro.tensor import Tensor, scalar
+
+def DCSR(memory=offChip) -> Format:
+    """Both matrix levels compressed (TTV output mirrors B's fibers)."""
+    return Format([compressed, compressed], None, memory)
+
+
+def CCD(memory=offChip) -> Format:
+    """Compressed-compressed-dense 3-tensor (TTM output: dense k level)."""
+    return Format([compressed, compressed, dense], None, memory)
+
+
+@dataclasses.dataclass(frozen=True)
+class TensorSpec:
+    """Shape/format requirements of one kernel operand."""
+
+    name: str
+    role: str  # 'output' | 'sparse' | 'dense' | 'scalar'
+    order: int
+    format_of: Callable[..., Format] | None
+
+    def make(self, shape: tuple[int, ...]) -> Tensor:
+        if self.order == 0:
+            return scalar(self.name, offChip)
+        assert self.format_of is not None
+        return Tensor(self.name, shape, self.format_of(offChip))
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelSpec:
+    """One Table 3 kernel: expression, formats, schedule, and metadata."""
+
+    name: str
+    expression: str  # Table 3 index-notation string
+    tensor_specs: tuple[TensorSpec, ...]
+    build_stmt: Callable[[dict[str, Tensor], int, int], tuple[IndexStmt, Tensor]]
+    input_program: str  # canonical Stardust input (for the LoC comparison)
+    paper_input_loc: int  # Table 3 "Input" column
+    paper_spatial_loc: int  # Table 3 "Spatial" column
+    paper_par: int  # Table 5 "Par" column (outer parallelization)
+    uses_reduction: bool = True
+
+    def build(
+        self,
+        tensors: dict[str, Tensor],
+        inner_par: int = 16,
+        outer_par: int | None = None,
+    ):
+        """Construct the scheduled statement for the given operand tensors."""
+        op = self.paper_par if outer_par is None else outer_par
+        return self.build_stmt(tensors, inner_par, op)
+
+    def input_loc(self) -> int:
+        """Lines of Stardust input a user writes (Table 3 metric)."""
+        return sum(
+            1
+            for line in self.input_program.splitlines()
+            if line.strip() and not line.strip().startswith("//")
+        )
+
+
+def _env(stmt: IndexStmt, ip: int, op: int) -> IndexStmt:
+    return stmt.environment(INNER_PAR, ip).environment(OUTER_PAR, op)
+
+
+# ---------------------------------------------------------------------------
+# Kernel builders
+# ---------------------------------------------------------------------------
+
+
+def _spmv(tensors, ip, op):
+    A, x, y = tensors["A"], tensors["x"], tensors["y"]
+    i, j = index_vars("i j")
+    y[i] = A[i, j] * x[j]
+    ws = scalar("ws", onChip)
+    stmt = _env(y.get_index_stmt(), ip, op)
+    stmt = stmt.precompute(A[i, j] * x[j], [], [], ws)
+    stmt = stmt.accelerate(j, SPATIAL, REDUCTION, par=INNER_PAR)
+    return stmt, y
+
+
+def _plus3(tensors, ip, op):
+    A, B, C, D = tensors["A"], tensors["B"], tensors["C"], tensors["D"]
+    i, j, jw = index_vars("i j jw")
+    A[i, j] = B[i, j] + C[i, j] + D[i, j]
+    T = Tensor("T", (A.shape[1],), SPARSE_VECTOR(onChip))
+    stmt = _env(A.get_index_stmt(), ip, op)
+    # Iterated two-input addition: T = B + C on chip, then A = T + D.
+    stmt = stmt.precompute(B[i, j] + C[i, j], [j], [jw], T)
+    return stmt, A
+
+
+def _sddmm(tensors, ip, op):
+    A, B, C, D = tensors["A"], tensors["B"], tensors["C"], tensors["D"]
+    i, j, k = index_vars("i j k")
+    A[i, j] = B[i, j] * C[i, k] * D[k, j]
+    ws = scalar("ws", onChip)
+    stmt = _env(A.get_index_stmt(), ip, op)
+    stmt = stmt.precompute(B[i, j] * C[i, k] * D[k, j], [], [], ws)
+    stmt = stmt.accelerate(k, SPATIAL, REDUCTION, par=INNER_PAR)
+    return stmt, A
+
+
+def _mattransmul(tensors, ip, op):
+    A, x, z, y = tensors["A"], tensors["x"], tensors["z"], tensors["y"]
+    alpha, beta = tensors["alpha"], tensors["beta"]
+    i, j = index_vars("i j")
+    term = alpha[()] * A[j, i] * x[j]
+    y[i] = term + beta[()] * z[i]
+    ws = scalar("ws", onChip)
+    stmt = _env(y.get_index_stmt(), ip, op)
+    stmt = stmt.precompute(term, [], [], ws)
+    stmt = stmt.accelerate(j, SPATIAL, REDUCTION, par=INNER_PAR)
+    return stmt, y
+
+
+def _residual(tensors, ip, op):
+    A, x, b, y = tensors["A"], tensors["x"], tensors["b"], tensors["y"]
+    i, j = index_vars("i j")
+    term = A[i, j] * x[j]
+    y[i] = b[i] - term
+    ws = scalar("ws", onChip)
+    stmt = _env(y.get_index_stmt(), ip, op)
+    stmt = stmt.precompute(term, [], [], ws)
+    stmt = stmt.accelerate(j, SPATIAL, REDUCTION, par=INNER_PAR)
+    return stmt, y
+
+
+def _ttv(tensors, ip, op):
+    A, B, c = tensors["A"], tensors["B"], tensors["c"]
+    i, j, k = index_vars("i j k")
+    A[i, j] = B[i, j, k] * c[k]
+    ws = scalar("ws", onChip)
+    stmt = _env(A.get_index_stmt(), ip, op)
+    stmt = stmt.precompute(B[i, j, k] * c[k], [], [], ws)
+    stmt = stmt.accelerate(k, SPATIAL, REDUCTION, par=INNER_PAR)
+    return stmt, A
+
+
+def _ttm(tensors, ip, op):
+    A, B, C = tensors["A"], tensors["B"], tensors["C"]
+    i, j, k, l = index_vars("i j k l")
+    A[i, j, k] = B[i, j, l] * C[k, l]
+    stmt = _env(A.get_index_stmt(), ip, op)
+    # Vectorise the dense k loop; keep the compressed l loop outside it so
+    # the C(k, l) access stays affine per lane (no shuffle network).
+    stmt = stmt.reorder(i, j, l, k)
+    return stmt, A
+
+
+def _mttkrp(tensors, ip, op):
+    A, B, C, D = tensors["A"], tensors["B"], tensors["C"], tensors["D"]
+    i, j, k, l = index_vars("i j k l")
+    A[i, j] = B[i, k, l] * C[j, k] * D[j, l]
+    stmt = _env(A.get_index_stmt(), ip, op)
+    stmt = stmt.reorder(i, k, l, j)
+    return stmt, A
+
+
+def _innerprod(tensors, ip, op):
+    alpha, B, C = tensors["alpha_out"], tensors["B"], tensors["C"]
+    i, j, k = index_vars("i j k")
+    alpha[()] = B[i, j, k] * C[i, j, k]
+    ws = scalar("ws", onChip)
+    stmt = _env(alpha.get_index_stmt(), ip, op)
+    stmt = stmt.precompute(B[i, j, k] * C[i, j, k], [], [], ws)
+    stmt = stmt.accelerate(k, SPATIAL, REDUCTION, par=INNER_PAR)
+    return stmt, alpha
+
+
+def _plus2(tensors, ip, op):
+    A, B, C = tensors["A"], tensors["B"], tensors["C"]
+    i, j, k = index_vars("i j k")
+    A[i, j, k] = B[i, j, k] + C[i, j, k]
+    stmt = _env(A.get_index_stmt(), ip, op)
+    return stmt, A
+
+
+# ---------------------------------------------------------------------------
+# Specs
+# ---------------------------------------------------------------------------
+
+_SPECS = [
+    KernelSpec(
+        name="SpMV",
+        expression="y(i) = sum_j A(i,j) * x(j)",
+        tensor_specs=(
+            TensorSpec("y", "output", 1, DENSE_VECTOR),
+            TensorSpec("A", "sparse", 2, CSR),
+            TensorSpec("x", "dense", 1, DENSE_VECTOR),
+        ),
+        build_stmt=_spmv,
+        input_program="""\
+Format csr_off = CSR(offChip);
+Tensor A({N, N}, csr_off);
+Tensor x({N}, dense_off);  Tensor y({N}, dense_off);
+y(i) = A(i, j) * x(j);
+IndexStmt stmt = y.getAssignment();
+stmt = stmt.environment(innerPar, 16).environment(outerPar, 16);
+Tensor ws(on);
+stmt = stmt.precompute(A(i,j) * x(j), {}, {}, ws);
+stmt = stmt.accelerate(forall(j, ws += A*x), Spatial, Reduction, innerPar);
+std::cout << y << std::endl;
+""",
+        paper_input_loc=10,
+        paper_spatial_loc=44,
+        paper_par=16,
+    ),
+    KernelSpec(
+        name="Plus3",
+        expression="A(i,j) = B(i,j) + C(i,j) + D(i,j)",
+        tensor_specs=(
+            TensorSpec("A", "output", 2, CSR),
+            TensorSpec("B", "sparse", 2, CSR),
+            TensorSpec("C", "sparse", 2, CSR),
+            TensorSpec("D", "sparse", 2, CSR),
+        ),
+        build_stmt=_plus3,
+        input_program="""\
+Tensor A({N, N}, csr_off);  Tensor B({N, N}, csr_off);
+Tensor C({N, N}, csr_off);  Tensor D({N, N}, csr_off);
+A(i, j) = B(i, j) + C(i, j) + D(i, j);
+IndexStmt stmt = A.getAssignment();
+stmt = stmt.environment(innerPar, 16).environment(outerPar, 8);
+Tensor T({N}, sparse_on);
+stmt = stmt.precompute(B(i,j) + C(i,j), {j}, {jw}, T);
+std::cout << A << std::endl;
+""",
+        paper_input_loc=8,
+        paper_spatial_loc=91,
+        paper_par=8,
+        uses_reduction=False,
+    ),
+    KernelSpec(
+        name="SDDMM",
+        expression="A(i,j) = sum_k B(i,j) * C(i,k) * D(k,j)",
+        tensor_specs=(
+            TensorSpec("A", "output", 2, CSR),
+            TensorSpec("B", "sparse", 2, CSR),
+            TensorSpec("C", "dense", 2, DENSE_MATRIX),
+            TensorSpec("D", "dense", 2, DENSE_MATRIX_CM),
+        ),
+        build_stmt=_sddmm,
+        input_program="""\
+Format csr_off({uncompressed, compressed}, offChip);
+Format rm_off({uncompressed, uncompressed}, offChip);
+Format cm_off({uncompressed, uncompressed}, {1, 0}, offChip);
+Tensor A({N, N}, csr_off);  Tensor B({N, N}, csr_off);
+Tensor C({N, K}, rm_off);   Tensor D({K, N}, cm_off);
+A(i, j) = B(i, j) * C(i, k) * D(k, j);
+IndexStmt stmt = A.getAssignment();
+stmt = stmt.environment(innerPar, 16);
+stmt = stmt.environment(outerPar, 12);
+Tensor ws(on);
+stmt = stmt.precompute(B(i,j) * C(i,k) * D(k,j), {}, {}, ws);
+stmt = stmt.accelerate(forall(k, ws += B*C*D), Spatial, Reduction, innerPar);
+std::cout << A << std::endl;
+""",
+        paper_input_loc=17,
+        paper_spatial_loc=62,
+        paper_par=12,
+    ),
+    KernelSpec(
+        name="MatTransMul",
+        expression="y(i) = sum_j alpha * A(j,i) * x(j) + beta * z(i)",
+        tensor_specs=(
+            TensorSpec("y", "output", 1, DENSE_VECTOR),
+            TensorSpec("A", "sparse", 2, CSC),
+            TensorSpec("x", "dense", 1, DENSE_VECTOR),
+            TensorSpec("z", "dense", 1, DENSE_VECTOR),
+            TensorSpec("alpha", "scalar", 0, None),
+            TensorSpec("beta", "scalar", 0, None),
+        ),
+        build_stmt=_mattransmul,
+        input_program="""\
+Format csc_off({uncompressed, compressed}, {1, 0}, offChip);
+Tensor A({N, N}, csc_off);
+Tensor x({N}, dense_off);  Tensor z({N}, dense_off);  Tensor y({N}, dense_off);
+Tensor alpha(off);  Tensor beta(off);
+y(i) = alpha() * A(j, i) * x(j) + beta() * z(i);
+IndexStmt stmt = y.getAssignment();
+stmt = stmt.environment(innerPar, 16).environment(outerPar, 16);
+Tensor ws(on);
+stmt = stmt.precompute(alpha() * A(j,i) * x(j), {}, {}, ws);
+stmt = stmt.accelerate(forall(j, ws += alpha*A*x), Spatial, Reduction, innerPar);
+std::cout << y << std::endl;
+""",
+        paper_input_loc=13,
+        paper_spatial_loc=50,
+        paper_par=16,
+    ),
+    KernelSpec(
+        name="Residual",
+        expression="y(i) = b(i) - sum_j A(i,j) * x(j)",
+        tensor_specs=(
+            TensorSpec("y", "output", 1, DENSE_VECTOR),
+            TensorSpec("A", "sparse", 2, CSR),
+            TensorSpec("x", "dense", 1, DENSE_VECTOR),
+            TensorSpec("b", "dense", 1, DENSE_VECTOR),
+        ),
+        build_stmt=_residual,
+        input_program="""\
+Tensor A({N, N}, csr_off);
+Tensor x({N}, dense_off);  Tensor b({N}, dense_off);  Tensor y({N}, dense_off);
+y(i) = b(i) - A(i, j) * x(j);
+IndexStmt stmt = y.getAssignment();
+stmt = stmt.environment(innerPar, 16).environment(outerPar, 16);
+Tensor ws(on);
+stmt = stmt.precompute(A(i,j) * x(j), {}, {}, ws);
+stmt = stmt.accelerate(forall(j, ws += A*x), Spatial, Reduction, innerPar);
+std::cout << y << std::endl;
+""",
+        paper_input_loc=9,
+        paper_spatial_loc=48,
+        paper_par=16,
+    ),
+    KernelSpec(
+        name="TTV",
+        expression="A(i,j) = sum_k B(i,j,k) * c(k)",
+        tensor_specs=(
+            TensorSpec("A", "output", 2, DCSR),
+            TensorSpec("B", "sparse", 3, CSF),
+            TensorSpec("c", "dense", 1, DENSE_VECTOR),
+        ),
+        build_stmt=_ttv,
+        input_program="""\
+Format csf_off({compressed, compressed, compressed}, offChip);
+Format dcsr_off({compressed, compressed}, offChip);
+Tensor B({I, J, K}, csf_off);
+Tensor c({K}, dense_off);
+Tensor A({I, J}, dcsr_off);
+A(i, j) = B(i, j, k) * c(k);
+IndexStmt stmt = A.getAssignment();
+stmt = stmt.environment(innerPar, 16).environment(outerPar, 16);
+Tensor ws(on);
+stmt = stmt.precompute(B(i,j,k) * c(k), {}, {}, ws);
+stmt = stmt.accelerate(forall(k, ws += B*c), Spatial, Reduction, innerPar);
+std::cout << A << std::endl;
+""",
+        paper_input_loc=13,
+        paper_spatial_loc=73,
+        paper_par=16,
+    ),
+    KernelSpec(
+        name="TTM",
+        expression="A(i,j,k) = sum_l B(i,j,l) * C(k,l)",
+        tensor_specs=(
+            TensorSpec("A", "output", 3, CCD),
+            TensorSpec("B", "sparse", 3, CSF),
+            TensorSpec("C", "dense", 2, DENSE_MATRIX),
+        ),
+        build_stmt=_ttm,
+        input_program="""\
+Format csf_off({compressed, compressed, compressed}, offChip);
+Format ccd_off({compressed, compressed, uncompressed}, offChip);
+Tensor B({I, J, L}, csf_off);
+Tensor C({K, L}, rm_off);
+Tensor A({I, J, K}, ccd_off);
+A(i, j, k) = B(i, j, l) * C(k, l);
+IndexStmt stmt = A.getAssignment();
+stmt = stmt.environment(innerPar, 16).environment(outerPar, 12);
+stmt = stmt.reorder(i, j, l, k);
+std::cout << A << std::endl;
+""",
+        paper_input_loc=11,
+        paper_spatial_loc=83,
+        paper_par=12,
+        uses_reduction=False,
+    ),
+    KernelSpec(
+        name="MTTKRP",
+        expression="A(i,j) = sum_kl B(i,k,l) * C(j,k) * D(j,l)",
+        tensor_specs=(
+            TensorSpec("A", "output", 2, DENSE_MATRIX),
+            TensorSpec("B", "sparse", 3, CSF),
+            TensorSpec("C", "dense", 2, DENSE_MATRIX),
+            TensorSpec("D", "dense", 2, DENSE_MATRIX),
+        ),
+        build_stmt=_mttkrp,
+        input_program="""\
+Format csf_off({compressed, compressed, compressed}, offChip);
+Tensor B({I, K, L}, csf_off);
+Tensor C({J, K}, rm_off);  Tensor D({J, L}, rm_off);
+Tensor A({I, J}, rm_off);
+A(i, j) = B(i, k, l) * C(j, k) * D(j, l);
+IndexStmt stmt = A.getAssignment();
+stmt = stmt.environment(innerPar, 16).environment(outerPar, 8);
+stmt = stmt.reorder(i, k, l, j);
+std::cout << A << std::endl;
+""",
+        paper_input_loc=15,
+        paper_spatial_loc=86,
+        paper_par=8,
+        uses_reduction=False,
+    ),
+    KernelSpec(
+        name="InnerProd",
+        expression="alpha = sum_ijk B(i,j,k) * C(i,j,k)",
+        tensor_specs=(
+            TensorSpec("alpha_out", "output", 0, None),
+            TensorSpec("B", "sparse", 3, UCC),
+            TensorSpec("C", "sparse", 3, UCC),
+        ),
+        build_stmt=_innerprod,
+        input_program="""\
+Format ucc_off({uncompressed, compressed, compressed}, offChip);
+Tensor B({I, J, K}, ucc_off);  Tensor C({I, J, K}, ucc_off);
+Tensor alpha(off);
+alpha() = B(i, j, k) * C(i, j, k);
+IndexStmt stmt = alpha.getAssignment();
+stmt = stmt.environment(innerPar, 16).environment(outerPar, 8);
+Tensor ws(on);
+stmt = stmt.precompute(B(i,j,k) * C(i,j,k), {}, {}, ws);
+stmt = stmt.accelerate(forall(k, ws += B*C), Spatial, Reduction, innerPar);
+std::cout << alpha << std::endl;
+""",
+        paper_input_loc=11,
+        paper_spatial_loc=115,
+        paper_par=8,
+    ),
+    KernelSpec(
+        name="Plus2",
+        expression="A(i,j,k) = B(i,j,k) + C(i,j,k)",
+        tensor_specs=(
+            TensorSpec("A", "output", 3, UCC),
+            TensorSpec("B", "sparse", 3, UCC),
+            TensorSpec("C", "sparse", 3, UCC),
+        ),
+        build_stmt=_plus2,
+        input_program="""\
+Format ucc_off({uncompressed, compressed, compressed}, offChip);
+Tensor A({I, J, K}, ucc_off);
+Tensor B({I, J, K}, ucc_off);  Tensor C({I, J, K}, ucc_off);
+A(i, j, k) = B(i, j, k) + C(i, j, k);
+IndexStmt stmt = A.getAssignment();
+stmt = stmt.environment(innerPar, 16).environment(outerPar, 1);
+std::cout << A << std::endl;
+""",
+        paper_input_loc=6,
+        paper_spatial_loc=163,
+        paper_par=1,
+        uses_reduction=False,
+    ),
+]
+
+KERNELS: dict[str, KernelSpec] = {spec.name: spec for spec in _SPECS}
+
+#: Kernel evaluation order used throughout the paper's tables.
+KERNEL_ORDER = tuple(spec.name for spec in _SPECS)
+
+
+def get_kernel(name: str) -> KernelSpec:
+    try:
+        return KERNELS[name]
+    except KeyError:
+        raise KeyError(f"unknown kernel {name!r}; choose from {KERNEL_ORDER}")

@@ -1,0 +1,18 @@
+"""The Spatial parallel-pattern IR, code generator, and interpreter."""
+
+from repro.spatial import codegen, interp, ir
+from repro.spatial.codegen import count_loc, generate
+from repro.spatial.interp import InterpError, Machine, execute
+from repro.spatial.ir import SpatialProgram
+
+__all__ = [
+    "InterpError",
+    "Machine",
+    "SpatialProgram",
+    "codegen",
+    "count_loc",
+    "execute",
+    "generate",
+    "interp",
+    "ir",
+]

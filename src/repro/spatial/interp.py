@@ -1,0 +1,332 @@
+"""Functional interpreter for the Spatial IR.
+
+Executes a generated :class:`~repro.spatial.ir.SpatialProgram` element by
+element against numpy-backed memories, faithfully modelling the semantics
+the hardware provides: FIFOs are strictly in-order use-once queues,
+bit-vector scanners yield Figure 7 pattern-index tuples, ``Reduce``
+combines lane values through its operator, and re-executing a declaration
+re-initialises the memory (which is how per-iteration workspaces reset).
+
+The interpreter is the correctness oracle for the compiler: every kernel's
+generated code is run on small inputs and compared against the dense
+reference semantics of :func:`repro.tensor.ops.evaluate_dense`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+import numpy as np
+
+from repro.tensor.bitvector import INVALID, BitVector, gen_bitvector, scan
+from repro.spatial.ir import (
+    Assign,
+    BitVectorDecl,
+    BitVectorOp,
+    Comment,
+    DenseCounter,
+    DramDecl,
+    DramWrite,
+    Enq,
+    FifoDecl,
+    Foreach,
+    GenBitVector,
+    LoadBulk,
+    MemReduce,
+    RegDecl,
+    RegWrite,
+    ReducePat,
+    ScanCounter,
+    SBin,
+    SDeq,
+    SExpr,
+    SLit,
+    SRead,
+    SRegRead,
+    SSelect,
+    SStmt,
+    SValid,
+    SVar,
+    SpatialProgram,
+    SramDecl,
+    SramWrite,
+    StoreBulk,
+    StreamStore,
+)
+
+_BINOPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a // b if isinstance(a, (int, float)) and float(a).is_integer() and float(b).is_integer() else a / b,
+    "%": lambda a, b: a % b,
+    "min": min,
+    "max": max,
+}
+
+
+class InterpError(RuntimeError):
+    """The program violated a hardware precondition (e.g. FIFO underflow)."""
+
+
+class Machine:
+    """Execution state: DRAMs, SRAMs, FIFOs, registers, bit vectors."""
+
+    def __init__(
+        self,
+        program: SpatialProgram,
+        dram_data: dict[str, np.ndarray],
+        symbols: dict[str, int],
+    ) -> None:
+        self.program = program
+        self.symbols = dict(symbols)
+        self.dram: dict[str, np.ndarray] = {}
+        self.sram: dict[str, np.ndarray] = {}
+        self.fifo: dict[str, deque] = {}
+        self.regs: dict[str, float] = {}
+        self.bitvec: dict[str, BitVector] = {}
+        self.bitvec_len: dict[str, int] = {}
+        # Base environment: symbols and environment variables are in scope.
+        self.env: dict[str, float] = {}
+        self.env.update(symbols)
+        self.env.update(program.env)
+        for d in program.dram:
+            size = int(self.eval(d.size, self.env))
+            data = dram_data.get(d.name)
+            if data is not None:
+                arr = np.zeros(max(size, len(data)), dtype=np.float64)
+                arr[: len(data)] = data
+            else:
+                arr = np.zeros(size, dtype=np.float64)
+            self.dram[d.name] = arr
+
+    # -- expression evaluation -------------------------------------------------
+
+    def eval(self, e: SExpr, env: dict[str, float]) -> float:
+        if isinstance(e, SLit):
+            return e.value
+        if isinstance(e, SVar):
+            try:
+                return env[e.name]
+            except KeyError:
+                raise InterpError(f"unbound variable {e.name!r}")
+        if isinstance(e, SBin):
+            return _BINOPS[e.op](self.eval(e.a, env), self.eval(e.b, env))
+        if isinstance(e, SSelect):
+            # Lazy select: only the chosen branch is evaluated, so invalid
+            # scan positions never reach a memory read.
+            if self.eval(e.cond, env):
+                return self.eval(e.a, env)
+            return self.eval(e.b, env)
+        if isinstance(e, SValid):
+            return 1.0 if env[e.var.name] != INVALID else 0.0
+        if isinstance(e, SRead):
+            addr = int(self.eval(e.addr, env))
+            if e.mem in self.sram:
+                mem = self.sram[e.mem]
+            elif e.mem in self.dram:
+                mem = self.dram[e.mem]
+            else:
+                raise InterpError(f"read from undeclared memory {e.mem!r}")
+            if not 0 <= addr < len(mem):
+                raise InterpError(
+                    f"out-of-bounds read {e.mem}({addr}), size {len(mem)}"
+                )
+            return float(mem[addr])
+        if isinstance(e, SDeq):
+            q = self.fifo.get(e.fifo)
+            if q is None:
+                raise InterpError(f"dequeue from undeclared FIFO {e.fifo!r}")
+            if not q:
+                raise InterpError(f"FIFO underflow on {e.fifo!r}")
+            return q.popleft()
+        if isinstance(e, SRegRead):
+            try:
+                return self.regs[e.reg]
+            except KeyError:
+                raise InterpError(f"read of undeclared register {e.reg!r}")
+        raise TypeError(f"cannot evaluate {type(e).__name__}")
+
+    # -- statement execution ----------------------------------------------------
+
+    def run(self) -> None:
+        env = dict(self.env)
+        for s in self.program.accel:
+            self.exec(s, env)
+
+    def exec(self, s: SStmt, env: dict[str, float]) -> None:
+        if isinstance(s, Comment):
+            return
+        if isinstance(s, SramDecl):
+            size = int(self.eval(s.size, env))
+            self.sram[s.name] = np.zeros(size, dtype=np.float64)
+        elif isinstance(s, FifoDecl):
+            self.fifo[s.name] = deque()
+        elif isinstance(s, RegDecl):
+            self.regs[s.name] = float(s.init)
+        elif isinstance(s, BitVectorDecl):
+            length = int(self.eval(s.length, env))
+            self.bitvec_len[s.name] = length
+            self.bitvec[s.name] = gen_bitvector(np.zeros(0, dtype=np.int64), max(length, 1))
+        elif isinstance(s, GenBitVector):
+            self.exec_gen_bitvector(s, env)
+        elif isinstance(s, BitVectorOp):
+            a, b = self.bitvec[s.a], self.bitvec[s.b]
+            self.bitvec[s.dst] = (a & b) if s.op == "and" else (a | b)
+        elif isinstance(s, LoadBulk):
+            self.exec_load(s, env)
+        elif isinstance(s, StoreBulk):
+            start = int(self.eval(s.start, env))
+            end = int(self.eval(s.end, env))
+            src = self.sram[s.src]
+            self.dram[s.dst][start:end] = src[: end - start]
+        elif isinstance(s, StreamStore):
+            offset = int(self.eval(s.offset, env))
+            length = int(self.eval(s.length, env))
+            q = self.fifo[s.fifo]
+            if len(q) < length:
+                raise InterpError(
+                    f"stream store of {length} from {s.fifo!r} holding {len(q)}"
+                )
+            for k in range(length):
+                self.dram[s.dram][offset + k] = q.popleft()
+        elif isinstance(s, Assign):
+            env[s.name] = self.eval(s.expr, env)
+        elif isinstance(s, Enq):
+            self.fifo[s.fifo].append(self.eval(s.expr, env))
+        elif isinstance(s, RegWrite):
+            value = self.eval(s.expr, env)
+            if s.accumulate:
+                self.regs[s.reg] += value
+            else:
+                self.regs[s.reg] = value
+        elif isinstance(s, SramWrite):
+            addr = int(self.eval(s.addr, env))
+            mem = self.sram[s.mem]
+            if not 0 <= addr < len(mem):
+                raise InterpError(
+                    f"out-of-bounds write {s.mem}({addr}), size {len(mem)}"
+                )
+            value = self.eval(s.expr, env)
+            if s.accumulate:
+                mem[addr] += value
+            else:
+                mem[addr] = value
+        elif isinstance(s, DramWrite):
+            addr = int(self.eval(s.addr, env))
+            self.dram[s.dram][addr] = self.eval(s.expr, env)
+        elif isinstance(s, Foreach):
+            for binding in self.iterations(s.counter, s.ivars, env):
+                inner = dict(env)
+                inner.update(binding)
+                for b in s.body:
+                    self.exec(b, inner)
+        elif isinstance(s, ReducePat):
+            # Reduce folds lane values into the register's current value;
+            # the canonical idiom declares the register (init 0) just before.
+            total = self.regs.get(s.reg, 0.0)
+            combine = _BINOPS[s.combine]
+            for binding in self.iterations(s.counter, s.ivars, env):
+                inner = dict(env)
+                inner.update(binding)
+                for b in s.body:
+                    self.exec(b, inner)
+                total = combine(total, self.eval(s.value, inner))
+            self.regs[s.reg] = total
+        elif isinstance(s, MemReduce):
+            for binding in self.iterations(s.counter, s.ivars, env):
+                inner = dict(env)
+                inner.update(binding)
+                for b in s.body:
+                    self.exec(b, inner)
+                src = self.sram[s.value_mem]
+                dst = self.sram[s.mem]
+                dst[: len(src)] = _BINOPS[s.combine](dst[: len(src)], src)
+        else:
+            raise TypeError(f"cannot execute {type(s).__name__}")
+
+    # -- pattern iteration --------------------------------------------------------
+
+    def iterations(self, counter, ivars, env):
+        """Yield binder environments for one pattern's counter."""
+        if isinstance(counter, DenseCounter):
+            length = int(self.eval(counter.length, env))
+            base = int(self.eval(counter.base, env)) if counter.base is not None else 0
+            trips = max(0, math.ceil(length / counter.step))
+            if len(ivars) != 1:
+                raise InterpError("dense counters bind exactly one index")
+            for k in range(trips):
+                yield {ivars[0]: base + k * counter.step}
+            return
+        assert isinstance(counter, ScanCounter)
+        bv_a = self.bitvec[counter.bv_a]
+        if counter.bv_b is None:
+            # Single-vector scan binds (pos_a, pos_out, coord).
+            if len(ivars) != 3:
+                raise InterpError("single-vector scans bind (pos, out, coord)")
+            for entry in scan(bv_a):
+                yield {
+                    ivars[0]: entry.pos_a,
+                    ivars[1]: entry.pos_out,
+                    ivars[2]: entry.coord,
+                }
+            return
+        bv_b = self.bitvec[counter.bv_b]
+        if len(ivars) != 4:
+            raise InterpError("two-vector scans bind (a, b, out, coord)")
+        for entry in scan(bv_a, bv_b, counter.op):
+            yield {
+                ivars[0]: entry.pos_a,
+                ivars[1]: entry.pos_b,
+                ivars[2]: entry.pos_out,
+                ivars[3]: entry.coord,
+            }
+
+    # -- memory helpers -------------------------------------------------------------
+
+    def exec_load(self, s: LoadBulk, env: dict[str, float]) -> None:
+        start = int(self.eval(s.start, env))
+        end = int(self.eval(s.end, env))
+        if end < start:
+            raise InterpError(f"negative-length load {s.dst} [{start}:{end}]")
+        src = self.dram[s.src][start:end]
+        if s.dst in self.sram:
+            mem = self.sram[s.dst]
+            if len(src) > len(mem):
+                raise InterpError(
+                    f"load of {len(src)} words overflows SRAM {s.dst!r} "
+                    f"({len(mem)} words)"
+                )
+            mem[: len(src)] = src
+        elif s.dst in self.fifo:
+            self.fifo[s.dst].extend(float(v) for v in src)
+        else:
+            raise InterpError(f"load into undeclared memory {s.dst!r}")
+
+    def exec_gen_bitvector(self, s: GenBitVector, env: dict[str, float]) -> None:
+        count = int(self.eval(s.count, env))
+        length = self.bitvec_len[s.dst]
+        if s.crd_mem in self.fifo:
+            q = self.fifo[s.crd_mem]
+            if len(q) < count:
+                raise InterpError(
+                    f"genBitvector drains {count} from {s.crd_mem!r} holding {len(q)}"
+                )
+            coords = np.array([q.popleft() for _ in range(count)], dtype=np.int64)
+        elif s.crd_mem in self.sram:
+            coords = self.sram[s.crd_mem][:count].astype(np.int64)
+        else:
+            raise InterpError(f"genBitvector from undeclared memory {s.crd_mem!r}")
+        self.bitvec[s.dst] = gen_bitvector(coords, max(length, 1))
+
+
+def execute(
+    program: SpatialProgram,
+    dram_data: dict[str, np.ndarray],
+    symbols: dict[str, int],
+) -> Machine:
+    """Run a program to completion and return the final machine state."""
+    machine = Machine(program, dram_data, symbols)
+    machine.run()
+    return machine

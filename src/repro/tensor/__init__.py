@@ -1,0 +1,34 @@
+"""Sparse tensor substrate: level storage, bit vectors, and the Tensor API."""
+
+from repro.tensor.bitvector import BitVector, ScanEntry, gen_bitvector, scan, scan_count
+from repro.tensor.ops import evaluate_dense, infer_dimensions
+from repro.tensor.storage import (
+    CompressedLevel,
+    DenseLevel,
+    TensorStorage,
+    from_dense,
+    pack,
+    to_dense,
+    unpack,
+)
+from repro.tensor.tensor import Tensor, scalar, vector
+
+__all__ = [
+    "BitVector",
+    "CompressedLevel",
+    "DenseLevel",
+    "ScanEntry",
+    "Tensor",
+    "TensorStorage",
+    "evaluate_dense",
+    "from_dense",
+    "gen_bitvector",
+    "infer_dimensions",
+    "pack",
+    "scalar",
+    "scan",
+    "scan_count",
+    "to_dense",
+    "unpack",
+    "vector",
+]

@@ -1,0 +1,124 @@
+"""Dense reference semantics for index-notation assignments.
+
+Used as ground truth throughout the test suite: every backend (Spatial
+interpreter, CPU lowering, handwritten kernels) is checked against
+:func:`evaluate_dense`, which evaluates an assignment by aligned numpy
+broadcasting over the full (dense) iteration space and summing over
+reduction variables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.index_notation import (
+    Access,
+    Add,
+    Assignment,
+    IndexExpr,
+    IndexVar,
+    Literal,
+    Mul,
+    Neg,
+    Sub,
+)
+
+
+def infer_dimensions(assignment: Assignment) -> dict[IndexVar, int]:
+    """Dimension of each index variable, checked for consistency."""
+    dims: dict[IndexVar, int] = {}
+    accesses = (assignment.lhs,) + assignment.rhs.accesses()
+    for acc in accesses:
+        for mode, ivar in enumerate(acc.indices):
+            size = acc.tensor.shape[mode]
+            prior = dims.get(ivar)
+            if prior is not None and prior != size:
+                raise ValueError(
+                    f"index variable {ivar} ranges over both {prior} and "
+                    f"{size} (access {acc})"
+                )
+            dims[ivar] = size
+    return dims
+
+
+def _eval(expr: IndexExpr, var_order: list[IndexVar], dense: dict[int, np.ndarray]) -> np.ndarray:
+    """Evaluate ``expr`` as an array broadcast over ``var_order`` axes."""
+    if isinstance(expr, Literal):
+        return np.asarray(float(expr.value))
+    if isinstance(expr, Access):
+        arr = dense[id(expr.tensor)]
+        if not expr.indices:
+            return np.asarray(float(arr))
+        # Transpose tensor modes into var_order positions, then expand with
+        # singleton axes so operands broadcast against each other.
+        order = np.argsort([var_order.index(v) for v in expr.indices])
+        arr_t = np.transpose(arr, order)
+        shape = [1] * len(var_order)
+        axes_sorted = sorted(var_order.index(v) for v in expr.indices)
+        for ax, size in zip(axes_sorted, arr_t.shape):
+            shape[ax] = size
+        return arr_t.reshape(shape)
+    if isinstance(expr, Add):
+        return _eval(expr.a, var_order, dense) + _eval(expr.b, var_order, dense)
+    if isinstance(expr, Sub):
+        return _eval(expr.a, var_order, dense) - _eval(expr.b, var_order, dense)
+    if isinstance(expr, Mul):
+        return _eval(expr.a, var_order, dense) * _eval(expr.b, var_order, dense)
+    if isinstance(expr, Neg):
+        return -_eval(expr.a, var_order, dense)
+    raise TypeError(f"cannot evaluate {type(expr).__name__}")
+
+
+def evaluate_dense(
+    assignment: Assignment,
+    inputs: dict[str, np.ndarray] | None = None,
+) -> np.ndarray:
+    """Evaluate an assignment densely, returning the result array.
+
+    Implicit reductions apply *per additive term*: in
+    ``y(i) = b(i) - A(i,j)*x(j)`` the sum over ``j`` ranges only over the
+    term that mentions ``j`` (TACO semantics). Each top-level term is
+    therefore evaluated and reduced independently before combining.
+
+    Args:
+        assignment: the index-notation statement.
+        inputs: optional override arrays by tensor name; tensors not listed
+            are densified from their own storage.
+    """
+    from repro.ir.index_notation import additive_terms
+
+    inputs = inputs or {}
+    dims = infer_dimensions(assignment)
+    lhs_vars = list(assignment.lhs.indices)
+    dense: dict[int, np.ndarray] = {}
+    for acc in assignment.rhs.accesses():
+        t = acc.tensor
+        if id(t) not in dense:
+            arr = inputs.get(t.name)
+            dense[id(t)] = (
+                np.asarray(arr, dtype=np.float64) if arr is not None else t.to_dense()
+            )
+
+    out_shape = tuple(dims[v] for v in lhs_vars)
+    result = np.zeros(out_shape, dtype=np.float64)
+    for sign, term in additive_terms(assignment.rhs):
+        term_vars = [v for v in lhs_vars]
+        for v in term.index_vars():
+            if all(v is not u for u in term_vars):
+                term_vars.append(v)
+        value = _eval(term, term_vars, dense)
+        value = np.broadcast_to(value, [dims[v] for v in term_vars])
+        reduce_axes = tuple(
+            k for k, v in enumerate(term_vars)
+            if all(v is not u for u in lhs_vars)
+        )
+        if reduce_axes:
+            value = value.sum(axis=reduce_axes)
+        result = result + sign * value
+    if assignment.accumulate:
+        base = inputs.get(assignment.lhs.tensor.name)
+        if base is None and assignment.lhs.tensor._storage is not None:
+            base = assignment.lhs.tensor.to_dense()
+        if base is not None:
+            result = result + np.asarray(base, dtype=np.float64)
+    return result

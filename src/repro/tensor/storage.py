@@ -1,0 +1,285 @@
+"""Level-based sparse tensor storage (the Chou et al. format abstraction).
+
+A tensor of order *n* is stored as *n* stacked level structures plus one
+values array. Each level materialises the coordinates of one tensor mode
+(in ``mode_ordering`` order):
+
+* **dense** levels store nothing; a parent position ``p`` expands to child
+  positions ``p * N + i`` for every coordinate ``i`` in ``[0, N)``.
+* **compressed** levels store a ``pos`` array (segment boundaries per parent
+  position) and a ``crd`` array (the nonzero coordinates), exactly the
+  CSR-style arrays of Figure 8.
+
+The :func:`pack` function converts COO data into this representation for an
+arbitrary format, and :func:`unpack` converts back, so round-tripping is
+property-testable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.formats.format import Format
+from repro.formats.levels import LevelKind
+
+
+@dataclasses.dataclass
+class DenseLevel:
+    """A dense (uncompressed) storage level: coordinates are implicit."""
+
+    size: int
+
+    @property
+    def kind(self) -> LevelKind:
+        return LevelKind.DENSE
+
+    def num_children(self, num_parents: int) -> int:
+        return num_parents * self.size
+
+
+@dataclasses.dataclass
+class CompressedLevel:
+    """A compressed storage level: explicit ``pos``/``crd`` arrays."""
+
+    pos: np.ndarray
+    crd: np.ndarray
+
+    @property
+    def kind(self) -> LevelKind:
+        return LevelKind.COMPRESSED
+
+    @property
+    def nnz(self) -> int:
+        return len(self.crd)
+
+    def segment(self, parent_pos: int) -> tuple[int, int]:
+        """Child position range ``[start, end)`` for one parent position."""
+        return int(self.pos[parent_pos]), int(self.pos[parent_pos + 1])
+
+
+Level = DenseLevel | CompressedLevel
+
+
+@dataclasses.dataclass
+class TensorStorage:
+    """Packed storage for one tensor: levels (outermost first) plus values.
+
+    ``levels[L]`` stores tensor mode ``fmt.mode_ordering[L]``. ``vals`` has
+    one entry per position of the innermost level.
+    """
+
+    fmt: Format
+    dims: tuple[int, ...]
+    levels: list[Level]
+    vals: np.ndarray
+
+    @property
+    def order(self) -> int:
+        return len(self.dims)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored (possibly explicit-zero) entries."""
+        return len(self.vals)
+
+    def level_dim(self, level: int) -> int:
+        """Dimension size of the mode stored at ``level``."""
+        return self.dims[self.fmt.mode_of_level(level)]
+
+    def array(self, level: int, name: str) -> np.ndarray:
+        """Fetch a named sub-array (``pos``/``crd``) of a compressed level."""
+        lvl = self.levels[level]
+        if not isinstance(lvl, CompressedLevel):
+            raise KeyError(f"level {level} is dense and has no {name!r} array")
+        if name == "pos":
+            return lvl.pos
+        if name == "crd":
+            return lvl.crd
+        raise KeyError(f"unknown sub-array {name!r}")
+
+    def bytes_total(self, elem_bytes: int = 4) -> int:
+        """Total footprint in bytes (indices and values, 4B words)."""
+        total = len(self.vals) * elem_bytes
+        for lvl in self.levels:
+            if isinstance(lvl, CompressedLevel):
+                total += (len(lvl.pos) + len(lvl.crd)) * 4
+        return total
+
+
+_POS_DTYPE = np.int64
+_CRD_DTYPE = np.int32
+
+
+def _dedupe_coo(
+    coords: np.ndarray, vals: np.ndarray, storage_order: tuple[int, ...]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sort COO entries by storage order and sum duplicates.
+
+    ``coords`` is (nnz, order); returns sorted, unique coords and summed
+    values in storage-level order of significance.
+    """
+    if coords.shape[0] == 0:
+        return coords, vals
+    keys = tuple(coords[:, m] for m in reversed(storage_order))
+    order = np.lexsort(keys)
+    coords = coords[order]
+    vals = vals[order]
+    if coords.shape[0] > 1:
+        same = np.all(coords[1:] == coords[:-1], axis=1)
+        if same.any():
+            group_ids = np.concatenate(([0], np.cumsum(~same)))
+            n_groups = group_ids[-1] + 1
+            first = np.concatenate(([True], ~same))
+            summed = np.zeros(n_groups, dtype=vals.dtype)
+            np.add.at(summed, group_ids, vals)
+            coords = coords[first]
+            vals = summed
+    return coords, vals
+
+
+def pack(
+    coords: np.ndarray,
+    vals: np.ndarray,
+    dims: tuple[int, ...],
+    fmt: Format,
+) -> TensorStorage:
+    """Pack COO data into level storage for an arbitrary format.
+
+    Args:
+        coords: integer array of shape (nnz, order), one row per entry.
+        vals: values of shape (nnz,).
+        dims: dimension sizes per tensor mode.
+        fmt: target format; ``fmt.order`` must equal ``len(dims)``.
+
+    The algorithm walks levels top-down, tracking each entry's *parent
+    position*. Dense levels multiply the position space by the dimension;
+    compressed levels rank the unique (parent, coordinate) pairs.
+    """
+    order = len(dims)
+    if fmt.order != order:
+        raise ValueError(f"format order {fmt.order} != tensor order {order}")
+    coords = np.asarray(coords, dtype=np.int64).reshape(-1, order) if order else (
+        np.zeros((len(np.atleast_1d(vals)), 0), dtype=np.int64)
+    )
+    vals = np.asarray(vals, dtype=np.float64).reshape(-1)
+    if coords.shape[0] != vals.shape[0]:
+        raise ValueError("coords and vals disagree on entry count")
+    for m in range(order):
+        if coords.shape[0] and (
+            coords[:, m].min() < 0 or coords[:, m].max() >= dims[m]
+        ):
+            raise ValueError(f"coordinate out of bounds in mode {m}")
+
+    if order == 0:
+        value = float(vals.sum()) if len(vals) else 0.0
+        return TensorStorage(fmt, (), [], np.array([value], dtype=np.float64))
+
+    coords, vals = _dedupe_coo(coords, vals, fmt.mode_ordering)
+    n = coords.shape[0]
+
+    levels: list[Level] = []
+    # parent position of each stored entry at the level being built
+    parent_pos = np.zeros(n, dtype=np.int64)
+    num_parents = 1
+    for lvl_idx in range(order):
+        mode = fmt.mode_of_level(lvl_idx)
+        dim = dims[mode]
+        lvl_coords = coords[:, mode]
+        if fmt.level_format(lvl_idx).is_dense:
+            levels.append(DenseLevel(dim))
+            parent_pos = parent_pos * dim + lvl_coords
+            num_parents *= dim
+        else:
+            # Rank unique (parent_pos, coord) pairs. Entries are already
+            # sorted in storage order, so pairs appear grouped and sorted.
+            key = parent_pos * dim + lvl_coords
+            if n:
+                new_group = np.concatenate(([True], key[1:] != key[:-1]))
+                group_rank = np.cumsum(new_group) - 1
+                uniq_key = key[new_group]
+                uniq_parent = parent_pos[new_group]
+                uniq_crd = (uniq_key % dim).astype(_CRD_DTYPE)
+            else:
+                group_rank = np.zeros(0, dtype=np.int64)
+                uniq_parent = np.zeros(0, dtype=np.int64)
+                uniq_crd = np.zeros(0, dtype=_CRD_DTYPE)
+            pos = np.zeros(num_parents + 1, dtype=_POS_DTYPE)
+            np.add.at(pos, uniq_parent + 1, 1)
+            np.cumsum(pos, out=pos)
+            levels.append(CompressedLevel(pos=pos, crd=uniq_crd))
+            parent_pos = group_rank
+            num_parents = len(uniq_crd)
+
+    # One value slot per innermost-level position: compressed tails have one
+    # slot per stored entry, dense tails one per (possibly zero) dense slot.
+    out_vals = np.zeros(num_parents, dtype=np.float64)
+    out_vals[parent_pos] = vals
+    return TensorStorage(fmt, tuple(dims), levels, out_vals)
+
+
+def unpack(storage: TensorStorage) -> tuple[np.ndarray, np.ndarray]:
+    """Expand level storage back to COO ``(coords, vals)``.
+
+    Dense levels enumerate every slot, so unpacking a format with a trailing
+    dense level yields explicit zeros; callers filter if needed.
+    """
+    order = storage.order
+    if order == 0:
+        return np.zeros((1, 0), dtype=np.int64), storage.vals.copy()
+
+    # positions and per-entry coordinates, built level by level
+    positions = np.zeros(1, dtype=np.int64)
+    coord_cols: list[np.ndarray] = []
+    for lvl_idx in range(order):
+        lvl = storage.levels[lvl_idx]
+        if isinstance(lvl, DenseLevel):
+            dim = lvl.size
+            reps = len(positions)
+            new_coord = np.tile(np.arange(dim, dtype=np.int64), reps)
+            positions = np.repeat(positions, dim) * dim + new_coord
+            coord_cols = [np.repeat(c, dim) for c in coord_cols]
+            coord_cols.append(new_coord)
+        else:
+            counts = lvl.pos[positions + 1] - lvl.pos[positions]
+            starts = lvl.pos[positions]
+            total = int(counts.sum())
+            # offsets[e] = starts[parent] + (rank of e within its segment)
+            prefix = np.concatenate(([0], np.cumsum(counts)))[: len(counts)]
+            seg_base = np.repeat(prefix, counts)
+            offsets = np.repeat(starts, counts) + (np.arange(total) - seg_base)
+            coord_cols = [np.repeat(c, counts) for c in coord_cols]
+            coord_cols.append(lvl.crd[offsets].astype(np.int64))
+            positions = offsets
+    coords_storage = np.stack(coord_cols, axis=1) if coord_cols else np.zeros((0, 0))
+    # map storage-level order back to mode order
+    coords = np.zeros_like(coords_storage)
+    for lvl_idx in range(order):
+        coords[:, storage.fmt.mode_of_level(lvl_idx)] = coords_storage[:, lvl_idx]
+    return coords, storage.vals[positions]
+
+
+def to_dense(storage: TensorStorage) -> np.ndarray:
+    """Materialise the tensor as a dense numpy array."""
+    if storage.order == 0:
+        return np.array(storage.vals[0])
+    dense = np.zeros(storage.dims, dtype=np.float64)
+    coords, vals = unpack(storage)
+    if len(vals):
+        np.add.at(dense, tuple(coords[:, m] for m in range(storage.order)), vals)
+    return dense
+
+
+def from_dense(array: np.ndarray, fmt: Format) -> TensorStorage:
+    """Pack a dense numpy array, keeping only the nonzero entries for
+    compressed levels (dense formats keep everything)."""
+    array = np.asarray(array, dtype=np.float64)
+    if array.ndim == 0:
+        return pack(np.zeros((1, 0), dtype=np.int64), [float(array)], (), fmt)
+    if fmt.is_all_dense:
+        idx = np.indices(array.shape).reshape(array.ndim, -1).T
+        return pack(idx, array.reshape(-1), array.shape, fmt)
+    nz = np.nonzero(array)
+    coords = np.stack(nz, axis=1) if array.ndim else np.zeros((0, 0))
+    return pack(coords, array[nz], array.shape, fmt)

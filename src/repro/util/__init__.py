@@ -1,0 +1,6 @@
+"""Small utilities: LoC accounting and ASCII figure rendering."""
+
+from repro.util.loc import count_loc, loc_reduction
+from repro.util.plot import ascii_bars, ascii_xy
+
+__all__ = ["ascii_bars", "ascii_xy", "count_loc", "loc_reduction"]

@@ -1,0 +1,91 @@
+"""Minimal ASCII plotting for the figure benchmarks.
+
+No plotting libraries are available offline; the Figure 12/13 benches
+render their series as monospace charts so the *shape* of each figure is
+visible directly in the benchmark log.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+_GLYPHS = "ox+*#@%&=~"
+
+
+def ascii_xy(
+    series: Mapping[str, Mapping[float, float]],
+    width: int = 64,
+    height: int = 18,
+    logx: bool = True,
+    logy: bool = True,
+    title: str = "",
+) -> str:
+    """Render named (x → y) series as an ASCII scatter chart."""
+    xs = sorted({x for pts in series.values() for x in pts})
+    ys = [y for pts in series.values() for y in pts.values()]
+    if not xs or not ys:
+        return "(empty plot)"
+
+    def tx(v: float) -> float:
+        return math.log10(v) if logx else v
+
+    def ty(v: float) -> float:
+        return math.log10(max(v, 1e-12)) if logy else v
+
+    x_lo, x_hi = tx(min(xs)), tx(max(xs))
+    y_lo, y_hi = ty(min(ys)), ty(max(ys))
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for k, (name, pts) in enumerate(series.items()):
+        glyph = _GLYPHS[k % len(_GLYPHS)]
+        legend.append(f"{glyph}={name}")
+        for x, y in pts.items():
+            col = round((tx(x) - x_lo) / x_span * (width - 1))
+            row = round((ty(y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = f"{max(ys):.3g}"
+    y_bot = f"{min(ys):.3g}"
+    pad = max(len(y_top), len(y_bot))
+    for r, row in enumerate(grid):
+        label = y_top if r == 0 else (y_bot if r == height - 1 else "")
+        lines.append(f"{label:>{pad}s} |{''.join(row)}")
+    lines.append(f"{'':>{pad}s} +{'-' * width}")
+    lines.append(f"{'':>{pad}s}  {min(xs):<10g}{'':^{max(0, width - 22)}}{max(xs):>10g}")
+    lines.append("  " + "  ".join(legend))
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    values: Mapping[str, float],
+    width: int = 50,
+    logscale: bool = True,
+    title: str = "",
+) -> str:
+    """Render a named-value mapping as horizontal ASCII bars."""
+    if not values:
+        return "(empty plot)"
+    vmax = max(values.values())
+
+    def scale(v: float) -> int:
+        if v <= 0:
+            return 0
+        if logscale and vmax > 0:
+            lo = math.log10(max(min(values.values()), 1e-12))
+            hi = math.log10(vmax)
+            span = (hi - lo) or 1.0
+            return max(1, round((math.log10(v) - lo) / span * width))
+        return max(1, round(v / vmax * width))
+
+    name_w = max(len(n) for n in values)
+    lines = [title] if title else []
+    for name, v in values.items():
+        lines.append(f"{name:<{name_w}s} |{'#' * scale(v):<{width}s}| {v:.3g}")
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats import CSR, DENSE_VECTOR, offChip
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def random_sparse(rng: np.random.Generator, shape, density: float = 0.4) -> np.ndarray:
+    """A random dense array with ``density`` fraction of nonzeros."""
+    mask = rng.random(shape) < density
+    vals = rng.random(shape) + 0.5
+    return mask * vals
+
+
+def csr_tensor(name: str, array: np.ndarray) -> Tensor:
+    return Tensor(name, array.shape, CSR(offChip)).from_dense(array)
+
+
+def dense_vector(name: str, array: np.ndarray) -> Tensor:
+    return Tensor(name, array.shape, DENSE_VECTOR(offChip)).from_dense(array)

@@ -1,0 +1,57 @@
+"""Shared kernel-construction helpers for tests.
+
+Builds each Table 3 kernel on small random data, returning the scheduled
+statement, the output tensor, and the full operand dictionary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels import KERNELS
+from repro.tensor import Tensor
+
+#: Small operand shapes per kernel (distinct dims catch mode mix-ups).
+SMALL_DIMS = {
+    "SpMV": {"A": (7, 9), "x": (9,), "y": (7,)},
+    "Plus3": {"A": (6, 8), "B": (6, 8), "C": (6, 8), "D": (6, 8)},
+    "SDDMM": {"A": (6, 8), "B": (6, 8), "C": (6, 5), "D": (5, 8)},
+    "MatTransMul": {"A": (9, 7), "x": (9,), "z": (7,), "y": (7,),
+                    "alpha": (), "beta": ()},
+    "Residual": {"A": (7, 9), "x": (9,), "b": (7,), "y": (7,)},
+    "TTV": {"A": (4, 5), "B": (4, 5, 6), "c": (6,)},
+    "TTM": {"A": (4, 5, 3), "B": (4, 5, 6), "C": (3, 6)},
+    "MTTKRP": {"A": (4, 3), "B": (4, 5, 6), "C": (3, 5), "D": (3, 6)},
+    "InnerProd": {"alpha_out": (), "B": (4, 5, 6), "C": (4, 5, 6)},
+    "Plus2": {"A": (4, 5, 6), "B": (4, 5, 6), "C": (4, 5, 6)},
+}
+
+
+def make_small_tensors(name: str, seed: int = 42, density: float = 0.4,
+                       dims: dict | None = None) -> dict[str, Tensor]:
+    """Small random operand tensors for one kernel."""
+    rng = np.random.default_rng(seed)
+    spec = KERNELS[name]
+    shapes = dims or SMALL_DIMS[name]
+    tensors: dict[str, Tensor] = {}
+    for ts in spec.tensor_specs:
+        shape = shapes[ts.name]
+        t = ts.make(shape)
+        if ts.role == "scalar":
+            t.insert((), 2.0 if "alpha" in ts.name else 3.0)
+        elif ts.role == "sparse":
+            dense = (rng.random(shape) < density) * (rng.random(shape) + 0.5)
+            t.from_dense(dense)
+        elif ts.role == "dense":
+            t.from_dense(rng.random(shape))
+        tensors[ts.name] = t
+    return tensors
+
+
+def build_small_kernel_stmt(name: str, seed: int = 42, density: float = 0.4,
+                            inner_par: int = 16, outer_par: int | None = None):
+    """(scheduled IndexStmt, output Tensor, operand dict) on small data."""
+    tensors = make_small_tensors(name, seed, density)
+    spec = KERNELS[name]
+    stmt, out = spec.build(tensors, inner_par=inner_par, outer_par=outer_par)
+    return stmt, out, tensors

@@ -1,0 +1,188 @@
+"""Unit tests for concrete index notation (construction and rewriting)."""
+
+import pytest
+
+from repro.formats import CSR, DENSE_VECTOR, offChip
+from repro.ir import (
+    CinAssign,
+    CinSequence,
+    Forall,
+    SuchThat,
+    Where,
+    enclosing_foralls,
+    forall_chain,
+    format_stmt,
+    format_stmt_tree,
+    index_vars,
+    make_concrete,
+    replace_stmt,
+    strip_suchthat,
+    with_relations,
+)
+from repro.ir.cin import FuseRel, SplitUp
+from repro.tensor import Tensor, scalar
+
+
+@pytest.fixture
+def spmv():
+    A = Tensor("A", (4, 5), CSR(offChip))
+    x = Tensor("x", (5,), DENSE_VECTOR(offChip))
+    y = Tensor("y", (4,), DENSE_VECTOR(offChip))
+    i, j = index_vars("i j")
+    y[i] = A[i, j] * x[j]
+    return y.get_assignment(), (i, j), (A, x, y)
+
+
+class TestMakeConcrete:
+    def test_spmv_shape(self, spmv):
+        asg, (i, j), _ = spmv
+        cin = make_concrete(asg)
+        # forall(i) forall(j) y(i) += A(i,j)*x(j)
+        assert isinstance(cin, Forall) and cin.ivar is i
+        assert isinstance(cin.body, Forall) and cin.body.ivar is j
+        inner = cin.body.body
+        assert isinstance(inner, CinAssign)
+        assert inner.accumulate  # implicit reduction over j
+
+    def test_elementwise_no_accumulate(self):
+        B = Tensor("B", (3, 3), CSR(offChip))
+        C = Tensor("C", (3, 3), CSR(offChip))
+        A = Tensor("A", (3, 3), CSR(offChip))
+        i, j = index_vars("i j")
+        A[i, j] = B[i, j] + C[i, j]
+        cin = make_concrete(A.get_assignment())
+        (asg,) = cin.assignments()
+        assert not asg.accumulate
+
+    def test_mixed_terms_split_to_sequence(self):
+        # y(i) = b(i) - A(i,j)*x(j): the reduction-free term must not be
+        # re-added once per j; make_concrete emits an init + accumulate.
+        A = Tensor("A", (4, 5), CSR(offChip))
+        x = Tensor("x", (5,), DENSE_VECTOR(offChip))
+        b = Tensor("b", (4,), DENSE_VECTOR(offChip))
+        y = Tensor("y", (4,), DENSE_VECTOR(offChip))
+        i, j = index_vars("i j")
+        y[i] = b[i] - A[i, j] * x[j]
+        cin = make_concrete(y.get_assignment())
+        assert isinstance(cin, Forall) and cin.ivar is i
+        seq = cin.body
+        assert isinstance(seq, CinSequence)
+        init, red = seq.stmts
+        assert isinstance(init, CinAssign) and not init.accumulate
+        assert isinstance(red, Forall) and red.ivar is j
+        assert red.body.accumulate
+
+    def test_scalar_output_all_reduction(self):
+        B = Tensor("B", (3, 4), CSR(offChip))
+        alpha = scalar("alpha")
+        i, j = index_vars("i j")
+        alpha[()] = B[i, j] * B[i, j]
+        cin = make_concrete(alpha.get_assignment())
+        loops, inner = forall_chain(cin)
+        assert [f.ivar.name for f in loops] == ["i", "j"]
+        assert inner.accumulate
+
+
+class TestTraversal:
+    def test_walk_and_assignments(self, spmv):
+        asg, _, _ = spmv
+        cin = make_concrete(asg)
+        assert len(list(cin.walk())) == 3
+        assert len(cin.assignments()) == 1
+
+    def test_foralls_and_index_vars(self, spmv):
+        asg, (i, j), _ = spmv
+        cin = make_concrete(asg)
+        assert [f.ivar for f in cin.foralls()] == [i, j]
+        assert cin.index_vars() == (i, j)
+
+    def test_tensors(self, spmv):
+        asg, _, (A, x, y) = spmv
+        cin = make_concrete(asg)
+        names = {t.name for t in cin.tensors()}
+        assert names == {"A", "x", "y"}
+
+    def test_forall_chain(self, spmv):
+        asg, (i, j), _ = spmv
+        cin = make_concrete(asg)
+        loops, inner = forall_chain(cin)
+        assert [f.ivar for f in loops] == [i, j]
+        assert isinstance(inner, CinAssign)
+
+    def test_enclosing_foralls(self, spmv):
+        asg, (i, j), _ = spmv
+        cin = make_concrete(asg)
+        target = cin.assignments()[0]
+        loops = enclosing_foralls(cin, target)
+        assert [f.ivar for f in loops] == [i, j]
+
+    def test_enclosing_foralls_missing_node(self, spmv):
+        asg, _, _ = spmv
+        cin = make_concrete(asg)
+        other = make_concrete(asg)
+        with pytest.raises(ValueError):
+            enclosing_foralls(cin, other.assignments()[0])
+
+
+class TestRewriting:
+    def test_replace_stmt_identity(self, spmv):
+        asg, (i, j), _ = spmv
+        cin = make_concrete(asg)
+        target = cin.assignments()[0]
+        new = CinAssign(target.lhs, target.rhs, False)
+        out = replace_stmt(cin, target, new)
+        assert out.assignments()[0] is new
+        # Original tree untouched.
+        assert cin.assignments()[0] is target
+
+    def test_suchthat_helpers(self, spmv):
+        asg, (i, j), _ = spmv
+        cin = make_concrete(asg)
+        io, ii = index_vars("io ii")
+        rel = SplitUp(i, io, ii, 4)
+        wrapped = with_relations(cin, (rel,))
+        assert isinstance(wrapped, SuchThat)
+        body, rels = strip_suchthat(wrapped)
+        assert rels == (rel,)
+        assert body is cin
+
+    def test_with_relations_merges(self, spmv):
+        asg, (i, j), _ = spmv
+        cin = make_concrete(asg)
+        io, ii, f = index_vars("io ii f")
+        once = with_relations(cin, (SplitUp(i, io, ii, 4),))
+        twice = with_relations(once, (FuseRel(io, ii, f),))
+        _, rels = strip_suchthat(twice)
+        assert len(rels) == 2
+
+
+class TestPrinter:
+    def test_format_spmv(self, spmv):
+        asg, _, _ = spmv
+        text = format_stmt(make_concrete(asg))
+        assert text == "forall(i) forall(j) y(i) += (A(i, j) * x(j))"
+
+    def test_format_where(self, spmv):
+        asg, (i, j), _ = spmv
+        cin = make_concrete(asg)
+        inner = cin.body.body
+        where = Where(inner, inner)
+        assert "where" in format_stmt(where)
+
+    def test_format_suchthat(self, spmv):
+        asg, (i, j), _ = spmv
+        io, ii = index_vars("io ii")
+        cin = with_relations(make_concrete(asg), (SplitUp(i, io, ii, 8),))
+        assert "s.t. split_up(i, io, ii, 8)" in format_stmt(cin)
+
+    def test_format_tree_multiline(self, spmv):
+        asg, _, _ = spmv
+        tree = format_stmt_tree(make_concrete(asg))
+        lines = tree.splitlines()
+        assert lines[0].startswith("forall i")
+        assert lines[1].strip().startswith("forall j")
+
+    def test_format_parallel_annotation(self, spmv):
+        asg, (i, j), _ = spmv
+        cin = Forall(i, make_concrete(asg).body, parallel=16)
+        assert "par=16" in format_stmt(cin)

@@ -1,0 +1,47 @@
+"""Tests for the command-line interface (``python -m repro``)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_kernels_listing(capsys):
+    assert main(["kernels"]) == 0
+    out = capsys.readouterr().out
+    assert "SpMV" in out and "Plus2" in out
+    assert "sum_j A(i,j) * x(j)" in out
+
+
+def test_compile_default_dataset(capsys):
+    assert main(["compile", "SpMV", "--scale", "0.02"]) == 0
+    out = capsys.readouterr().out
+    assert "Accel {" in out
+    assert "Reduce(" in out
+
+
+def test_compile_with_reports(capsys):
+    assert main([
+        "compile", "SDDMM", "--scale", "0.02", "--cpu", "--memory-report",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Memory analysis" in out
+    assert "compute_sddmm" in out  # CPU C code present
+
+
+def test_simulate(capsys):
+    assert main(["simulate", "SpMV", "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "Capstan (HBM2E)" in out
+    assert "128-Thread CPU" in out
+    assert "1.00x" in out
+
+
+def test_tables_artifact(capsys):
+    assert main(["tables", "table3"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 3" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,187 @@
+"""Unit tests for the co-iteration rewrite system (Figure 10)."""
+
+import pytest
+
+from repro.core.coiteration import (
+    LoweringError,
+    build_strategy,
+    iteration_algebra,
+)
+from repro.formats import (
+    CSR,
+    DENSE_MATRIX,
+    DENSE_VECTOR,
+    SPARSE_VECTOR,
+    offChip,
+    onChip,
+)
+from repro.ir import index_vars
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def vars3():
+    return index_vars("i j k")
+
+
+def csr(name, shape=(4, 5)):
+    return Tensor(name, shape, CSR(offChip))
+
+
+def vec(name, n=5, sparse=False, on=False):
+    fmt = (SPARSE_VECTOR if sparse else DENSE_VECTOR)(onChip if on else offChip)
+    return Tensor(name, (n,), fmt)
+
+
+class TestIterationAlgebra:
+    def test_multiplication_intersects(self, vars3):
+        i, j, _ = vars3
+        B, C = csr("B"), csr("C")
+        term = iteration_algebra(B[i, j] * C[i, j], j)
+        assert term.op == "intersect"
+        assert len(term.leaves()) == 2
+
+    def test_addition_unions(self, vars3):
+        i, j, _ = vars3
+        B, C = csr("B"), csr("C")
+        term = iteration_algebra(B[i, j] + C[i, j], j)
+        assert term.op == "union"
+
+    def test_uninvolved_operands_drop(self, vars3):
+        i, j, _ = vars3
+        B = csr("B")
+        x = vec("x")
+        z = vec("z", 4)
+        # z(i) does not involve j: iteration of j is driven by B and x only.
+        term = iteration_algebra(B[i, j] * x[j] + z[i], j)
+        leaves = term.leaves()
+        assert {l.tensor.name for l in leaves} == {"B", "x"}
+
+    def test_literal_is_neutral(self, vars3):
+        i, j, _ = vars3
+        B = csr("B")
+        term = iteration_algebra(B[i, j] * 3, j)
+        assert term.op is None
+        assert term.leaf.tensor.name == "B"
+
+    def test_none_when_var_absent(self, vars3):
+        i, j, k = vars3
+        B = csr("B")
+        assert iteration_algebra(B[i, j], k) is None
+
+    def test_symbols(self, vars3):
+        i, j, _ = vars3
+        B = csr("B")
+        x = vec("x")
+        term = iteration_algebra(B[i, j] * x[j], j)
+        symbols = sorted(l.symbol for l in term.leaves())
+        assert symbols == ["C", "U"]  # compressed B2, dense x
+
+
+class TestStrategies:
+    def test_dense_loop(self, vars3):
+        """lowerIter[U ∩ U] => lowerIter(U)."""
+        i, j, _ = vars3
+        C = Tensor("C", (4, 5), DENSE_MATRIX(offChip))
+        D = Tensor("D", (4, 5), DENSE_MATRIX(offChip))
+        A = Tensor("A", (4, 5), DENSE_MATRIX(offChip))
+        s = build_strategy(j, [C[i, j] * D[i, j]], [A[i, j]])
+        assert s.kind == "dense"
+        assert any("lowerIter(U)" in t for t in s.trace)
+
+    def test_single_compressed(self, vars3):
+        """lowerIter[C1] => Foreach over positions."""
+        i, j, _ = vars3
+        B = csr("B")
+        y = vec("y", 4)
+        s = build_strategy(j, [B[i, j]], [y[i]])
+        assert s.kind == "compressed"
+        assert s.driving[0].tensor is B
+        assert any("Foreach(pos)" in t for t in s.trace)
+
+    def test_compressed_intersect_universe(self, vars3):
+        """lowerIter[C1 ∩ U] => lowerIter(C1) with the dense side located."""
+        i, j, _ = vars3
+        B = csr("B")
+        x = vec("x")
+        y = vec("y", 4)
+        s = build_strategy(j, [B[i, j] * x[j]], [y[i]])
+        assert s.kind == "compressed"
+        assert [l.tensor.name for l in s.located] == ["x"]
+        assert any("C1 ∩ U" in t for t in s.trace)
+
+    def test_compressed_compressed_intersection(self, vars3):
+        """lowerIter[C1 ∩ C2] => genBitvector x2 + AND scan."""
+        i, j, _ = vars3
+        B, C = csr("B"), csr("C")
+        alpha = Tensor("alpha", ())
+        s = build_strategy(j, [B[i, j] * C[i, j]], [alpha[()]])
+        assert s.kind == "scan"
+        assert s.op == "and"
+        assert len(s.driving) == 2
+        assert sum("genBitvector" in t for t in s.trace) == 2
+        assert any("∩ B2" in t for t in s.trace)
+
+    def test_compressed_compressed_union(self, vars3):
+        """lowerIter[C1 ∪ C2] => OR scan."""
+        i, j, _ = vars3
+        B, C, A = csr("B"), csr("C"), csr("A")
+        s = build_strategy(j, [B[i, j] + C[i, j]], [A[i, j]])
+        assert s.kind == "scan"
+        assert s.op == "or"
+        assert s.result_compressed
+
+    def test_union_with_universe_iterates_universe(self, vars3):
+        """lowerIter[U ∪ _] => lowerIter(U)."""
+        i, j, _ = vars3
+        B = csr("B")
+        x = vec("x")
+        A = Tensor("A", (4, 5), DENSE_MATRIX(offChip))
+        s = build_strategy(j, [B[i, j] + x[j]], [A[i, j]])
+        assert s.kind == "dense"
+        assert any("U ∪ _" in t for t in s.trace)
+
+    def test_workspace_bitvector_symbol(self, vars3):
+        """On-chip compressed workspaces scan as bit vectors (B symbol)."""
+        i, j, _ = vars3
+        T = vec("T", sparse=True, on=True)
+        D, A = csr("D"), csr("A")
+        s = build_strategy(j, [T[j] + D[i, j]], [A[i, j]])
+        assert s.kind == "scan"
+        symbols = {l.symbol for l in s.driving}
+        assert symbols == {"B", "C"}
+
+    def test_three_way_coiteration_rejected(self, vars3):
+        """Base rule: >2 sparse operands must be rescheduled (Plus3)."""
+        i, j, _ = vars3
+        B, C, D, A = csr("B"), csr("C"), csr("D"), csr("A")
+        with pytest.raises(LoweringError, match="two-input"):
+            build_strategy(j, [B[i, j] + C[i, j] + D[i, j]], [A[i, j]])
+
+    def test_result_only_dense(self, vars3):
+        i, j, _ = vars3
+        y = vec("y", 4)
+        ws = Tensor("ws", (), None, onChip)
+        s = build_strategy(i, [ws[()]], [y[i]])
+        assert s.kind == "dense"
+        assert s.result_iterator is not None
+        assert not s.result_compressed
+
+    def test_multiple_assignments_union(self, vars3):
+        """Sequence statements under one forall co-iterate their union."""
+        i, j, _ = vars3
+        B = csr("B")
+        b = vec("b", 4)
+        y = vec("y", 4)
+        s = build_strategy(
+            i, [b[i], B[i, j] * b[i]], [y[i], y[i]]
+        )
+        assert s.kind == "dense"
+
+    def test_describe(self, vars3):
+        i, j, _ = vars3
+        B = csr("B")
+        y = vec("y", 4)
+        s = build_strategy(j, [B[i, j]], [y[i]])
+        assert "forall j" in s.describe()
+        assert "compressed" in s.describe()

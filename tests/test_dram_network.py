@@ -1,0 +1,130 @@
+"""Unit tests for the DRAM and on-chip network models."""
+
+import math
+
+import pytest
+
+from repro.capstan import DDR4, HBM2E, IDEAL, custom_bandwidth
+from repro.capstan.arch import DEFAULT_CONFIG, CapstanConfig
+from repro.capstan.calibration import DEFAULT_COST
+from repro.capstan.dram import FIG12_BANDWIDTHS, DramModel
+from repro.capstan.network import NetworkModel
+
+
+class TestDramModels:
+    def test_paper_configurations(self):
+        assert DDR4.bandwidth_gb_s == pytest.approx(68.3)  # 4 x DDR4-2133
+        assert HBM2E.bandwidth_gb_s == 1800.0  # Section 8.1
+        assert IDEAL.is_ideal
+
+    def test_ideal_transfers_free(self):
+        assert IDEAL.transfer_seconds(1 << 30, bursts=1000) == 0.0
+
+    def test_bandwidth_term_scales(self):
+        t1 = HBM2E.transfer_seconds(1e6, bursts=1)
+        t2 = HBM2E.transfer_seconds(2e6, bursts=1)
+        assert t2 > t1
+        assert t2 / t1 == pytest.approx(2.0, rel=0.05)
+
+    def test_latency_term_scales_with_bursts(self):
+        t1 = DDR4.transfer_seconds(64, bursts=1)
+        t100 = DDR4.transfer_seconds(64 * 100, bursts=100)
+        assert t100 > t1
+
+    def test_small_transfers_pay_granule(self):
+        # 4 bytes across 10 bursts cannot beat 10 x 64-byte granules.
+        t = DDR4.transfer_seconds(40, bursts=10)
+        floor = 10 * 64 / (DDR4.bytes_per_second * DDR4.stream_efficiency)
+        assert t >= floor
+
+    def test_ddr4_slower_than_hbm(self):
+        for size in (1e4, 1e6, 1e9):
+            assert DDR4.transfer_seconds(size) > HBM2E.transfer_seconds(size)
+
+    def test_custom_bandwidth_sweep_points(self):
+        assert FIG12_BANDWIDTHS == (20, 50, 100, 200, 500, 1000, 2000)
+        models = [custom_bandwidth(bw) for bw in FIG12_BANDWIDTHS]
+        times = [m.transfer_seconds(1e8) for m in models]
+        assert times == sorted(times, reverse=True)
+
+    def test_custom_bandwidth_name(self):
+        assert custom_bandwidth(500).name == "500GB/s"
+        assert custom_bandwidth(500, "half-tb").name == "half-tb"
+
+
+class TestArchConfig:
+    def test_paper_resource_counts(self):
+        c = DEFAULT_CONFIG
+        assert (c.n_pcu, c.n_pmu, c.n_mc, c.n_shuffle) == (200, 200, 80, 16)
+        assert c.lanes == 16 and c.pcu_stages == 6
+
+    def test_pmu_capacity(self):
+        # 16 banks x 4096 32-bit words (Section 8.2).
+        assert DEFAULT_CONFIG.pmu_bytes == 16 * 4096 * 4
+
+    def test_cycle_conversion(self):
+        c = CapstanConfig(clock_hz=2e9)
+        assert c.cycles_to_seconds(2e9) == 1.0
+        assert c.bytes_per_cycle(2e9) == 1.0
+
+    def test_peak_flops(self):
+        c = DEFAULT_CONFIG
+        assert c.peak_flops == c.n_pcu * c.lanes * c.clock_hz
+
+
+class TestNetworkModel:
+    @pytest.fixture
+    def net(self):
+        return NetworkModel(DEFAULT_CONFIG, DEFAULT_COST)
+
+    def test_shuffle_caps_outer_par(self, net):
+        assert net.effective_outer_par(64, uses_shuffle=True) == 16
+        assert net.effective_outer_par(64, uses_shuffle=False) == 64
+        assert net.effective_outer_par(8, uses_shuffle=True) == 8
+
+    def test_gather_throughput(self, net):
+        # 16 networks x 16 lanes per cycle.
+        cycles = net.gather_cycles(16 * 16 * 100, shuffle_count=16)
+        assert cycles == pytest.approx(100.0)
+
+    def test_gather_zero(self, net):
+        assert net.gather_cycles(0, 16) == 0.0
+
+    def test_fewer_networks_slower(self, net):
+        many = net.gather_cycles(10000, shuffle_count=16)
+        few = net.gather_cycles(10000, shuffle_count=2)
+        assert few > many
+
+    def test_ideal_segment_ii_reduced(self, net):
+        assert net.segment_ii_cycles(ideal=True) < net.segment_ii_cycles(ideal=False)
+
+
+class TestPaperResultsConsistency:
+    """The transcription module is internally consistent."""
+
+    def test_tables_cover_all_kernels(self):
+        from repro.eval import paper_results as pr
+        from repro.kernels import KERNEL_ORDER
+
+        assert set(pr.TABLE3_LOC) == set(KERNEL_ORDER)
+        assert set(pr.TABLE5_RESOURCES) == set(KERNEL_ORDER)
+        for platform in ("Capstan (DDR4)", "V100 GPU", "128-Thread CPU"):
+            assert set(pr.TABLE6_NORMALISED[platform]) == set(KERNEL_ORDER)
+
+    def test_headline_geomeans_match_rows(self):
+        from statistics import geometric_mean
+
+        from repro.eval import paper_results as pr
+
+        cpu = geometric_mean(pr.TABLE6_NORMALISED["128-Thread CPU"].values())
+        gpu = geometric_mean(pr.TABLE6_NORMALISED["V100 GPU"].values())
+        assert cpu == pytest.approx(pr.HEADLINE_CPU_SPEEDUP, rel=0.01)
+        assert gpu == pytest.approx(pr.HEADLINE_GPU_SPEEDUP, rel=0.01)
+
+    def test_kernel_spec_loc_matches_transcription(self):
+        from repro.eval import paper_results as pr
+        from repro.kernels import KERNELS
+
+        for name, (input_loc, spatial_loc) in pr.TABLE3_LOC.items():
+            assert KERNELS[name].paper_input_loc == input_loc
+            assert KERNELS[name].paper_spatial_loc == spatial_loc

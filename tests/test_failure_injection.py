@@ -1,0 +1,135 @@
+"""Failure injection: the interpreter enforces hardware preconditions.
+
+Section 6.1: "Incorrect analysis — incompatible memory allocations, late
+allocations, and missed data transfers — will cause hardware simulation
+errors or invalid kernel computations." These tests corrupt generated
+programs the way a buggy memory analysis would and assert the functional
+interpreter (standing in for the hardware simulator) catches each fault.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import compile_stmt
+from repro.core.runner import bind_dram, bind_symbols
+from repro.spatial.interp import InterpError, execute
+from repro.spatial.ir import FifoDecl, Foreach, LoadBulk, ReducePat, SStmt
+from tests.helpers_kernels import build_small_kernel_stmt
+
+
+def _compiled(name="SpMV"):
+    stmt, out, _ = build_small_kernel_stmt(name)
+    kernel = compile_stmt(stmt, name.lower())
+    symbols = bind_symbols(kernel.program, kernel.tensors,
+                           kernel.analysis.output.name)
+    data = bind_dram(kernel.program, kernel.tensors)
+    return kernel, data, symbols
+
+
+def _rewrite_accel(program, fn):
+    """Return a program with every statement mapped through ``fn`` (which
+    may drop statements by returning None), recursively."""
+
+    def rewrite_block(stmts):
+        out = []
+        for s in stmts:
+            s2 = fn(s)
+            if s2 is None:
+                continue
+            if isinstance(s2, Foreach):
+                s2 = dataclasses.replace(s2, body=tuple(rewrite_block(s2.body)))
+            elif isinstance(s2, ReducePat):
+                s2 = dataclasses.replace(s2, body=tuple(rewrite_block(s2.body)))
+            out.append(s2)
+        return out
+
+    return dataclasses.replace(program, accel=tuple(rewrite_block(program.accel)))
+
+
+class TestMissedTransfers:
+    def test_missing_crd_load_underflows_fifo(self):
+        """Dropping the coordinate-segment load starves the FIFO."""
+        kernel, data, symbols = _compiled()
+
+        def drop(s: SStmt):
+            if isinstance(s, LoadBulk) and s.dst == "A2_crd":
+                return None
+            return s
+
+        bad = _rewrite_accel(kernel.program, drop)
+        with pytest.raises(InterpError, match="underflow"):
+            execute(bad, data, symbols)
+
+    def test_missing_vals_load_underflows_fifo(self):
+        kernel, data, symbols = _compiled()
+
+        def drop(s: SStmt):
+            if isinstance(s, LoadBulk) and s.dst == "A_vals":
+                return None
+            return s
+
+        bad = _rewrite_accel(kernel.program, drop)
+        with pytest.raises(InterpError, match="underflow"):
+            execute(bad, data, symbols)
+
+
+class TestLateAllocations:
+    def test_missing_fifo_declaration(self):
+        """An allocation dropped entirely: the load targets nothing."""
+        kernel, data, symbols = _compiled()
+
+        def drop(s: SStmt):
+            if isinstance(s, FifoDecl) and s.name == "A2_crd":
+                return None
+            return s
+
+        bad = _rewrite_accel(kernel.program, drop)
+        with pytest.raises(InterpError, match="undeclared"):
+            execute(bad, data, symbols)
+
+    def test_missing_pos_sram(self):
+        kernel, data, symbols = _compiled()
+        from repro.spatial.ir import SramDecl
+
+        def drop(s: SStmt):
+            if isinstance(s, (SramDecl, LoadBulk)) and getattr(
+                s, "name", getattr(s, "dst", "")
+            ) == "A2_pos":
+                return None
+            return s
+
+        bad = _rewrite_accel(kernel.program, drop)
+        with pytest.raises(InterpError, match="undeclared"):
+            execute(bad, data, symbols)
+
+
+class TestIncompatibleBindings:
+    def test_undersized_sram_overflows(self):
+        """Shrinking a staged buffer below its transfer size faults."""
+        kernel, data, symbols = _compiled()
+        from repro.spatial.ir import SLit, SramDecl
+
+        def shrink(s: SStmt):
+            if isinstance(s, SramDecl) and s.name == "x_vals":
+                return dataclasses.replace(s, size=SLit(1))
+            return s
+
+        bad = _rewrite_accel(kernel.program, shrink)
+        with pytest.raises(InterpError, match="overflows"):
+            execute(bad, data, symbols)
+
+    def test_missing_symbol_binding(self):
+        kernel, data, symbols = _compiled()
+        symbols = {k: v for k, v in symbols.items() if k != "A2_nnz"}
+        with pytest.raises(InterpError, match="unbound"):
+            execute(kernel.program, data, symbols)
+
+
+class TestCorrectProgramStillPasses:
+    def test_unmodified_program_runs(self):
+        kernel, data, symbols = _compiled()
+        machine = execute(kernel.program, data, symbols)
+        y = machine.dram["y_vals_dram"]
+        assert np.isfinite(y).all()

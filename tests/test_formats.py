@@ -1,0 +1,152 @@
+"""Unit tests for the format language (levels, formats, memory regions)."""
+
+import pytest
+
+from repro.formats import (
+    CSC,
+    CSF,
+    CSR,
+    DENSE_MATRIX,
+    DENSE_MATRIX_CM,
+    DENSE_VECTOR,
+    SPARSE_VECTOR,
+    UCC,
+    Format,
+    LevelKind,
+    MemoryRegion,
+    MemoryType,
+    ModeFormat,
+    bit_vector,
+    compressed,
+    dense,
+    format_of,
+    offChip,
+    onChip,
+)
+
+
+class TestModeFormat:
+    def test_dense_properties(self):
+        assert dense.is_dense
+        assert not dense.is_compressed
+        assert dense.iterator_symbol == "U"
+        assert dense.arrays() == ()
+
+    def test_compressed_properties(self):
+        assert compressed.is_compressed
+        assert compressed.iterator_symbol == "C"
+        assert compressed.arrays() == ("pos", "crd")
+
+    def test_bit_vector_properties(self):
+        assert bit_vector.is_bit_vector
+        assert bit_vector.iterator_symbol == "B"
+        assert bit_vector.arrays() == ("bv",)
+
+    def test_str_includes_flags(self):
+        mf = ModeFormat(LevelKind.COMPRESSED, ordered=False, unique=False)
+        text = str(mf)
+        assert "unordered" in text and "non-unique" in text
+
+    def test_default_ordered_unique(self):
+        assert compressed.ordered and compressed.unique
+
+
+class TestFormat:
+    def test_csr_structure(self):
+        fmt = CSR(offChip)
+        assert fmt.order == 2
+        assert fmt.level_format(0).is_dense
+        assert fmt.level_format(1).is_compressed
+        assert fmt.mode_ordering == (0, 1)
+        assert not fmt.is_on_chip
+
+    def test_csc_mode_ordering(self):
+        fmt = CSC(offChip)
+        assert fmt.mode_ordering == (1, 0)
+        assert fmt.mode_of_level(0) == 1
+        assert fmt.level_of_mode(0) == 1
+
+    def test_csf_three_compressed(self):
+        fmt = CSF(offChip)
+        assert fmt.order == 3
+        assert all(fmt.level_format(i).is_compressed for i in range(3))
+
+    def test_ucc_mixed(self):
+        fmt = UCC(offChip)
+        assert fmt.level_format(0).is_dense
+        assert fmt.level_format(1).is_compressed
+        assert fmt.level_format(2).is_compressed
+
+    def test_memory_region_positional(self):
+        # Paper-style two-argument form: Format({...}, offChip).
+        fmt = Format([dense, compressed], offChip)
+        assert fmt.memory is MemoryRegion.OFF_CHIP
+        assert fmt.mode_ordering == (0, 1)
+
+    def test_memory_region_with_ordering(self):
+        fmt = Format([dense, dense], [1, 0], onChip)
+        assert fmt.memory is MemoryRegion.ON_CHIP
+        assert fmt.mode_ordering == (1, 0)
+
+    def test_memory_twice_rejected(self):
+        with pytest.raises(TypeError):
+            Format([dense], offChip, offChip)
+
+    def test_bad_ordering_rejected(self):
+        with pytest.raises(ValueError):
+            Format([dense, compressed], [0, 0])
+        with pytest.raises(ValueError):
+            Format([dense, compressed], [1, 2])
+
+    def test_with_memory(self):
+        on = CSR(offChip).with_memory(MemoryRegion.ON_CHIP)
+        assert on.is_on_chip
+        assert on.mode_formats == CSR(offChip).mode_formats
+
+    def test_is_all_dense(self):
+        assert DENSE_MATRIX(offChip).is_all_dense
+        assert not CSR(offChip).is_all_dense
+
+    def test_has_compressed_level(self):
+        assert CSR(offChip).has_compressed_level
+        assert not DENSE_VECTOR(offChip).has_compressed_level
+
+    def test_str_mentions_memory(self):
+        assert "onChip" in str(SPARSE_VECTOR(onChip))
+        assert "offChip" in str(CSR(offChip))
+
+    def test_column_major_dense(self):
+        fmt = DENSE_MATRIX_CM(offChip)
+        assert fmt.mode_ordering == (1, 0)
+        assert fmt.is_all_dense
+
+    def test_format_of_lookup(self):
+        assert format_of("csr").mode_formats == CSR(offChip).mode_formats
+        assert format_of("csc").mode_ordering == (1, 0)
+        assert format_of("csf").order == 3
+
+    def test_format_of_unknown(self):
+        with pytest.raises(KeyError):
+            format_of("cooocoo")
+
+
+class TestMemoryTypes:
+    def test_region_flags(self):
+        assert MemoryRegion.ON_CHIP.is_on_chip
+        assert not MemoryRegion.OFF_CHIP.is_on_chip
+
+    def test_type_onoff_chip(self):
+        assert MemoryType.DRAM_DENSE.is_off_chip
+        assert MemoryType.SRAM_SPARSE.is_on_chip
+        assert MemoryType.FIFO.is_on_chip
+
+    def test_random_access_support(self):
+        assert MemoryType.SRAM_DENSE.supports_random_access
+        assert MemoryType.SRAM_SPARSE.supports_random_access
+        assert not MemoryType.FIFO.supports_random_access
+        assert not MemoryType.REGISTER.supports_random_access
+
+    def test_streaming(self):
+        assert MemoryType.FIFO.is_streaming
+        assert MemoryType.BIT_VECTOR.is_streaming
+        assert not MemoryType.SRAM_DENSE.is_streaming

@@ -1,0 +1,151 @@
+"""Generality tests beyond the evaluation suite: higher-order tensors,
+unusual expression shapes, and clear errors for unsupported mappings."""
+
+import numpy as np
+import pytest
+
+from repro.core import compile_stmt
+from repro.core.coiteration import LoweringError
+from repro.formats import (
+    CSC,
+    CSR,
+    DENSE_VECTOR,
+    Format,
+    compressed,
+    dense,
+    offChip,
+    onChip,
+)
+from repro.ir import index_vars
+from repro.tensor import Tensor, evaluate_dense, scalar, to_dense
+
+
+class TestFourDimensional:
+    """Order-4 tensors exercise the full level chain depth."""
+
+    def _tensor4(self, rng, density=0.3):
+        shape = (3, 4, 5, 6)
+        data = (rng.random(shape) < density) * rng.random(shape)
+        fmt = Format([compressed] * 4, None, offChip)
+        return Tensor("B", shape, fmt).from_dense(data), data
+
+    def test_4d_tensor_times_vector(self, rng):
+        """A(i,j,k) = sum_l B(i,j,k,l) * c(l) — a 4-D TTV."""
+        B, _ = self._tensor4(rng)
+        c = Tensor("c", (6,), DENSE_VECTOR(offChip)).from_dense(rng.random(6))
+        A = Tensor("A", (3, 4, 5), Format([compressed] * 3, None, offChip))
+        i, j, k, l = index_vars("i j k l")
+        A[i, j, k] = B[i, j, k, l] * c[l]
+        ws = scalar("ws", onChip)
+        stmt = (A.get_index_stmt()
+                .environment("innerPar", 16).environment("outerPar", 4)
+                .precompute(B[i, j, k, l] * c[l], [], [], ws)
+                .accelerate(l, "Spatial", "Reduction", par="innerPar"))
+        kernel = compile_stmt(stmt, "ttv4")
+        assert np.allclose(to_dense(kernel.run()),
+                           evaluate_dense(A.get_assignment()))
+
+    def test_4d_full_contraction(self, rng):
+        """alpha = sum_ijkl B(i,j,k,l) * C(i,j,k,l)."""
+        B, bdata = self._tensor4(rng)
+        fmt = Format([dense, compressed, compressed, compressed], None, offChip)
+        cdata = (rng.random((3, 4, 5, 6)) < 0.3) * rng.random((3, 4, 5, 6))
+        # Reuse B's format class for C but different occupancy.
+        C = Tensor("C", (3, 4, 5, 6), Format([compressed] * 4, None, offChip))
+        C.from_dense(cdata)
+        alpha = scalar("alpha_out", offChip)
+        i, j, k, l = index_vars("i j k l")
+        alpha[()] = B[i, j, k, l] * C[i, j, k, l]
+        ws = scalar("ws", onChip)
+        stmt = (alpha.get_index_stmt()
+                .environment("innerPar", 16).environment("outerPar", 2)
+                .precompute(B[i, j, k, l] * C[i, j, k, l], [], [], ws)
+                .accelerate(l, "Spatial", "Reduction", par="innerPar"))
+        kernel = compile_stmt(stmt, "inner4")
+        got = float(kernel.run().vals[0])
+        assert np.isclose(got, float((bdata * cdata).sum()))
+
+
+class TestExpressionShapes:
+    def test_scalar_scaling_of_sparse(self, rng):
+        data = (rng.random((5, 6)) < 0.5) * rng.random((5, 6))
+        B = Tensor("B", (5, 6), CSR(offChip)).from_dense(data)
+        a = scalar("a")
+        a.insert((), 2.5)
+        Z = Tensor("Z", (5, 6), CSR(offChip))
+        i, j = index_vars("i j")
+        Z[i, j] = a[()] * B[i, j]
+        kernel = compile_stmt(Z.get_index_stmt(), "scale")
+        assert np.allclose(to_dense(kernel.run()), 2.5 * data)
+
+    def test_literal_in_expression(self, rng):
+        data = (rng.random((5, 6)) < 0.5) * rng.random((5, 6))
+        B = Tensor("B", (5, 6), CSR(offChip)).from_dense(data)
+        Z = Tensor("Z", (5, 6), CSR(offChip))
+        i, j = index_vars("i j")
+        Z[i, j] = B[i, j] * 3
+        kernel = compile_stmt(Z.get_index_stmt(), "lit")
+        assert np.allclose(to_dense(kernel.run()), 3 * data)
+
+    def test_broadcast_row_and_col_vectors(self, rng):
+        """Z = M * (r(i) + c(j)): sparse ∩ (dense ∪ dense)."""
+        m = (rng.random((6, 7)) < 0.4) * rng.random((6, 7))
+        M = Tensor("M", (6, 7), CSR(offChip)).from_dense(m)
+        r = Tensor("r", (6,), DENSE_VECTOR(offChip)).from_dense(rng.random(6))
+        c = Tensor("c", (7,), DENSE_VECTOR(offChip)).from_dense(rng.random(7))
+        Z = Tensor("Z", (6, 7), CSR(offChip))
+        i, j = index_vars("i j")
+        Z[i, j] = M[i, j] * (r[i] + c[j])
+        kernel = compile_stmt(Z.get_index_stmt(), "bias")
+        expected = m * (r.to_dense()[:, None] + c.to_dense()[None, :])
+        assert np.allclose(to_dense(kernel.run()), expected)
+
+    def test_same_tensor_twice(self, rng):
+        data = (rng.random((5, 6)) < 0.5) * rng.random((5, 6))
+        B = Tensor("B", (5, 6), CSR(offChip)).from_dense(data)
+        Z = Tensor("Z", (5, 6), CSR(offChip))
+        i, j = index_vars("i j")
+        Z[i, j] = B[i, j] * B[i, j]
+        kernel = compile_stmt(Z.get_index_stmt(), "square")
+        assert np.allclose(to_dense(kernel.run()), data * data)
+
+    def test_rectangular_chain(self, rng):
+        """Distinct dims along every mode catch level/mode mix-ups."""
+        shape = (2, 7, 3)
+        data = (rng.random(shape) < 0.4) * rng.random(shape)
+        fmt = Format([compressed] * 3, None, offChip)
+        B = Tensor("B", shape, fmt).from_dense(data)
+        v = Tensor("v", (3,), DENSE_VECTOR(offChip)).from_dense(rng.random(3))
+        A = Tensor("A", (2, 7), Format([compressed, compressed], None, offChip))
+        i, j, k = index_vars("i j k")
+        A[i, j] = B[i, j, k] * v[k]
+        ws = scalar("ws", onChip)
+        stmt = (A.get_index_stmt()
+                .environment("innerPar", 4).environment("outerPar", 2)
+                .precompute(B[i, j, k] * v[k], [], [], ws)
+                .accelerate(k, "Spatial", "Reduction", par="innerPar"))
+        kernel = compile_stmt(stmt, "rect")
+        assert np.allclose(to_dense(kernel.run()),
+                           evaluate_dense(A.get_assignment()))
+
+
+class TestUnsupportedShapes:
+    def test_three_way_scan_clear_error(self, rng):
+        B = Tensor("B", (4, 4), CSR(offChip))
+        C = Tensor("C", (4, 4), CSR(offChip))
+        D = Tensor("D", (4, 4), CSR(offChip))
+        A = Tensor("A", (4, 4), CSR(offChip))
+        i, j = index_vars("i j")
+        A[i, j] = B[i, j] + C[i, j] + D[i, j]
+        with pytest.raises(LoweringError, match="precompute"):
+            compile_stmt(A.get_index_stmt())
+
+    def test_error_mentions_reshaping_strategy(self):
+        B = Tensor("B", (4, 4), CSR(offChip))
+        C = Tensor("C", (4, 4), CSR(offChip))
+        D = Tensor("D", (4, 4), CSR(offChip))
+        A = Tensor("A", (4, 4), CSR(offChip))
+        i, j = index_vars("i j")
+        A[i, j] = B[i, j] * C[i, j] * D[i, j]
+        with pytest.raises(LoweringError, match="two-input"):
+            compile_stmt(A.get_index_stmt())

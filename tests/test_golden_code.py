@@ -1,0 +1,54 @@
+"""Golden-file snapshots of generated code.
+
+Any change to the lowering, memory analysis, or code generator that alters
+the emitted Spatial (or CPU C) for the reference kernels shows up here as
+a readable diff. Regenerate intentionally with:
+
+    python - <<'PY'
+    from tests.helpers_kernels import build_small_kernel_stmt
+    from repro.core import compile_stmt
+    from repro.backends import lower_cpu
+    for name in ("SpMV", "SDDMM", "Plus3"):
+        stmt, _, _ = build_small_kernel_stmt(name)
+        open(f"tests/golden/{name.lower()}.spatial", "w").write(
+            compile_stmt(stmt, name.lower()).source)
+    stmt, _, _ = build_small_kernel_stmt("SpMV")
+    open("tests/golden/spmv.c", "w").write(lower_cpu(stmt, "spmv"))
+    PY
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.backends import lower_cpu
+from repro.core import compile_stmt
+from tests.helpers_kernels import build_small_kernel_stmt
+
+GOLDEN = Path(__file__).resolve().parent / "golden"
+
+
+def _diff_message(name: str, got: str, want: str) -> str:
+    import difflib
+
+    diff = "\n".join(difflib.unified_diff(
+        want.splitlines(), got.splitlines(),
+        fromfile=f"golden/{name}", tofile="generated", lineterm="",
+    ))
+    return (f"generated code for {name} changed; if intentional, "
+            f"regenerate the golden file (see module docstring)\n{diff}")
+
+
+@pytest.mark.parametrize("name", ["SpMV", "SDDMM", "Plus3"])
+def test_spatial_matches_golden(name):
+    stmt, _, _ = build_small_kernel_stmt(name)
+    got = compile_stmt(stmt, name.lower()).source
+    want = (GOLDEN / f"{name.lower()}.spatial").read_text()
+    assert got == want, _diff_message(f"{name.lower()}.spatial", got, want)
+
+
+def test_cpu_code_matches_golden():
+    stmt, _, _ = build_small_kernel_stmt("SpMV")
+    got = lower_cpu(stmt, "spmv")
+    want = (GOLDEN / "spmv.c").read_text()
+    assert got == want, _diff_message("spmv.c", got, want)

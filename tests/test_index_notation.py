@@ -1,0 +1,230 @@
+"""Unit tests for the index-notation expression language."""
+
+import numpy as np
+import pytest
+
+from repro.formats import CSR, DENSE_VECTOR, offChip
+from repro.ir.index_notation import (
+    Access,
+    Add,
+    Assignment,
+    IndexVar,
+    Literal,
+    Mul,
+    Neg,
+    Sub,
+    additive_terms,
+    index_vars,
+    to_expr,
+)
+from repro.tensor import Tensor, scalar
+
+
+@pytest.fixture
+def tensors():
+    A = Tensor("A", (4, 5), CSR(offChip))
+    x = Tensor("x", (5,), DENSE_VECTOR(offChip))
+    y = Tensor("y", (4,), DENSE_VECTOR(offChip))
+    return A, x, y
+
+
+class TestIndexVars:
+    def test_named_creation(self):
+        i, j, k = index_vars("i j k")
+        assert (i.name, j.name, k.name) == ("i", "j", "k")
+
+    def test_comma_separated(self):
+        vs = index_vars("i, j")
+        assert [v.name for v in vs] == ["i", "j"]
+
+    def test_count_creation(self):
+        vs = index_vars(3)
+        assert len(vs) == 3
+        assert len({v.name for v in vs}) == 3
+
+    def test_identity_not_name_equality(self):
+        a, b = IndexVar("i"), IndexVar("i")
+        assert a is not b
+        assert a.name == b.name
+
+
+class TestAccess:
+    def test_call_and_getitem_syntax(self, tensors):
+        A, x, y = tensors
+        i, j = index_vars("i j")
+        assert isinstance(A[i, j], Access)
+        assert isinstance(A(i, j), Access)
+        assert str(A(i, j)) == "A(i, j)"
+
+    def test_arity_check(self, tensors):
+        A, x, y = tensors
+        i, j, k = index_vars("i j k")
+        with pytest.raises(ValueError, match="order"):
+            A[i]
+        with pytest.raises(ValueError, match="order"):
+            x[i, j]
+
+    def test_repeated_var_rejected(self, tensors):
+        A, _, _ = tensors
+        i = IndexVar("i")
+        with pytest.raises(ValueError, match="repeated"):
+            A[i, i]
+
+    def test_scalar_access(self):
+        s = scalar("alpha")
+        acc = s[()]
+        assert acc.indices == ()
+        assert str(acc) == "alpha"
+
+    def test_mode_of(self, tensors):
+        A, _, _ = tensors
+        i, j = index_vars("i j")
+        acc = A[i, j]
+        assert acc.mode_of(i) == 0
+        assert acc.mode_of(j) == 1
+        assert acc.mode_of(IndexVar("z")) is None
+
+
+class TestExpressions:
+    def test_operators_build_nodes(self, tensors):
+        A, x, _ = tensors
+        i, j = index_vars("i j")
+        e = A[i, j] * x[j] + 2
+        assert isinstance(e, Add)
+        assert isinstance(e.a, Mul)
+        assert isinstance(e.b, Literal)
+
+    def test_rmul_and_sub(self, tensors):
+        _, x, _ = tensors
+        j = IndexVar("j")
+        e = 3 * x[j] - x[j]
+        assert isinstance(e, Sub)
+        assert isinstance(e.a, Mul)
+
+    def test_neg(self, tensors):
+        _, x, _ = tensors
+        j = IndexVar("j")
+        assert isinstance(-x[j], Neg)
+
+    def test_index_vars_first_use_order(self, tensors):
+        A, x, _ = tensors
+        i, j = index_vars("i j")
+        e = A[i, j] * x[j]
+        assert [v.name for v in e.index_vars()] == ["i", "j"]
+
+    def test_accesses_and_tensors(self, tensors):
+        A, x, _ = tensors
+        i, j = index_vars("i j")
+        e = A[i, j] * x[j] + x[j]
+        assert len(e.accesses()) == 3
+        assert [t.name for t in e.tensors()] == ["A", "x"]
+
+    def test_to_expr_rejects_junk(self):
+        with pytest.raises(TypeError):
+            to_expr("hello")
+
+
+class TestStructuralOps:
+    def test_equals(self, tensors):
+        A, x, _ = tensors
+        i, j = index_vars("i j")
+        assert (A[i, j] * x[j]).equals(A[i, j] * x[j])
+        assert not (A[i, j] * x[j]).equals(x[j] * A[i, j])
+
+    def test_contains(self, tensors):
+        A, x, _ = tensors
+        i, j = index_vars("i j")
+        e = A[i, j] * x[j] + x[j]
+        assert e.contains(A[i, j] * x[j])
+        assert e.contains(x[j])
+        assert not e.contains(A[i, j] + x[j])
+
+    def test_substitute(self, tensors):
+        A, x, y = tensors
+        i, j = index_vars("i j")
+        ws = scalar("ws")
+        e = (A[i, j] * x[j]).substitute(A[i, j] * x[j], ws[()])
+        assert isinstance(e, Access)
+        assert e.tensor is ws
+
+    def test_substitute_nested(self, tensors):
+        A, x, _ = tensors
+        i, j = index_vars("i j")
+        ws = scalar("ws")
+        e = (A[i, j] * x[j] + x[j]).substitute(x[j], ws[()])
+        # Both occurrences replaced.
+        assert all(a.tensor is not x for a in e.accesses() if a.tensor.name == "x")
+
+    def test_rename(self, tensors):
+        A, x, _ = tensors
+        i, j, jw = index_vars("i j jw")
+        e = (A[i, j] * x[j]).rename({j: jw})
+        assert [v.name for v in e.index_vars()] == ["i", "jw"]
+
+
+class TestAssignment:
+    def test_recorded_on_setitem(self, tensors):
+        A, x, y = tensors
+        i, j = index_vars("i j")
+        y[i] = A[i, j] * x[j]
+        asg = y.get_assignment()
+        assert asg.lhs.tensor is y
+        assert not asg.accumulate
+
+    def test_plus_equals_detected(self, tensors):
+        A, x, y = tensors
+        i, j = index_vars("i j")
+        y[i] = x.from_dense(np.zeros(5)) and A[i, j] * x[j]  # init
+        y[i] = A[i, j] * x[j]
+        # Python desugars += via __getitem__ then __setitem__.
+        y[i] += A[i, j] * x[j]
+        asg = y.get_assignment()
+        assert asg.accumulate
+        assert isinstance(asg.rhs, Mul)
+
+    def test_free_and_reduction_vars(self, tensors):
+        A, x, y = tensors
+        i, j = index_vars("i j")
+        y[i] = A[i, j] * x[j]
+        asg = y.get_assignment()
+        assert [v.name for v in asg.free_vars] == ["i"]
+        assert [v.name for v in asg.reduction_vars] == ["j"]
+        assert [v.name for v in asg.all_vars] == ["i", "j"]
+
+    def test_no_assignment_error(self):
+        t = Tensor("t", (3,), DENSE_VECTOR(offChip))
+        with pytest.raises(ValueError):
+            t.get_assignment()
+
+    def test_str(self, tensors):
+        A, x, y = tensors
+        i, j = index_vars("i j")
+        y[i] = A[i, j] * x[j]
+        assert str(y.get_assignment()) == "y(i) = (A(i, j) * x(j))"
+
+
+class TestAdditiveTerms:
+    def test_flat_sum(self, tensors):
+        A, x, y = tensors
+        i, j = index_vars("i j")
+        terms = additive_terms(x[j] + x[j] + x[j])
+        assert len(terms) == 3
+        assert all(s == 1 for s, _ in terms)
+
+    def test_subtraction_signs(self, tensors):
+        _, x, _ = tensors
+        j = IndexVar("j")
+        terms = additive_terms(x[j] - x[j])
+        assert [s for s, _ in terms] == [1, -1]
+
+    def test_nested_neg(self, tensors):
+        _, x, _ = tensors
+        j = IndexVar("j")
+        terms = additive_terms(-(x[j] - x[j]))
+        assert [s for s, _ in terms] == [-1, 1]
+
+    def test_products_are_leaves(self, tensors):
+        A, x, _ = tensors
+        i, j = index_vars("i j")
+        terms = additive_terms(A[i, j] * (x[j] + x[j]))
+        assert len(terms) == 1

@@ -1,0 +1,69 @@
+"""Property-based end-to-end tests: compiled kernels equal the dense
+reference on arbitrary random inputs (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import compile_stmt
+from repro.tensor import evaluate_dense, to_dense
+from tests.helpers_kernels import SMALL_DIMS, build_small_kernel_stmt
+
+
+def check(name: str, seed: int, density: float) -> None:
+    stmt, out, _ = build_small_kernel_stmt(name, seed=seed, density=density)
+    kernel = compile_stmt(stmt, name.lower())
+    result = to_dense(kernel.run())
+    assert np.allclose(result, evaluate_dense(out.get_assignment()))
+
+
+SEEDS = st.integers(0, 2 ** 31 - 1)
+DENSITIES = st.floats(0.0, 1.0)
+
+
+@given(SEEDS, DENSITIES)
+@settings(max_examples=25, deadline=None)
+def test_spmv_property(seed, density):
+    check("SpMV", seed, density)
+
+
+@given(SEEDS, DENSITIES)
+@settings(max_examples=20, deadline=None)
+def test_plus3_property(seed, density):
+    """Three-way union through the iterated two-input workspace."""
+    check("Plus3", seed, density)
+
+
+@given(SEEDS, DENSITIES)
+@settings(max_examples=20, deadline=None)
+def test_innerprod_property(seed, density):
+    """Nested intersection scans."""
+    check("InnerProd", seed, density)
+
+
+@given(SEEDS, DENSITIES)
+@settings(max_examples=20, deadline=None)
+def test_plus2_property(seed, density):
+    """Nested union scans with a compressed multi-level output."""
+    check("Plus2", seed, density)
+
+
+@given(SEEDS, DENSITIES)
+@settings(max_examples=15, deadline=None)
+def test_ttv_property(seed, density):
+    """CSF traversal with gather and DCSR output."""
+    check("TTV", seed, density)
+
+
+@given(SEEDS, DENSITIES)
+@settings(max_examples=15, deadline=None)
+def test_mttkrp_property(seed, density):
+    """Dense-inner reduction with row-buffer accumulation."""
+    check("MTTKRP", seed, density)
+
+
+@given(SEEDS)
+@settings(max_examples=15, deadline=None)
+def test_residual_subtraction_property(seed):
+    """Mixed-term assignment: init plus negated reduction."""
+    check("Residual", seed, 0.5)

@@ -1,0 +1,130 @@
+"""Unit tests for merge lattices (TACO's co-iteration IR, Section 9)."""
+
+import numpy as np
+import pytest
+
+from repro.formats import CSR, DENSE_MATRIX, offChip
+from repro.ir import index_vars
+from repro.ir.lattice import build_lattice, iteration_space
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def ops():
+    i, j = index_vars("i j")
+    B = Tensor("B", (4, 8), CSR(offChip))
+    C = Tensor("C", (4, 8), CSR(offChip))
+    D = Tensor("D", (4, 8), CSR(offChip))
+    U = Tensor("U", (4, 8), DENSE_MATRIX(offChip))
+    return i, j, B, C, D, U
+
+
+class TestLatticeConstruction:
+    def test_single_iterator(self, ops):
+        i, j, B, *_ = ops
+        lat = build_lattice(B[i, j], j)
+        assert len(lat.points) == 1
+        assert lat.is_intersection
+        assert not lat.has_universe
+
+    def test_intersection_one_point(self, ops):
+        """B * C: one lattice point; iteration stops when either ends."""
+        i, j, B, C, *_ = ops
+        lat = build_lattice(B[i, j] * C[i, j], j)
+        assert len(lat.points) == 1
+        assert len(lat.top) == 2
+        assert lat.is_intersection
+
+    def test_union_three_points(self, ops):
+        """B + C: {B,C} > {B} > {C} — TACO's two-way merge with tails."""
+        i, j, B, C, *_ = ops
+        lat = build_lattice(B[i, j] + C[i, j], j)
+        assert len(lat.points) == 3
+        assert lat.is_full_union
+        assert len(lat.top) == 2
+
+    def test_three_way_union_seven_points(self, ops):
+        """B + C + D: every non-empty subset is a point (2^3 - 1 = 7)."""
+        i, j, B, C, D, _ = ops
+        lat = build_lattice(B[i, j] + C[i, j] + D[i, j], j)
+        assert len(lat.points) == 7
+        assert lat.is_full_union
+
+    def test_mixed_mul_add(self, ops):
+        """B*C + D: {B,C,D} > {B,C} > {D} (and the product point subsets
+        that contain D alone collapse into these)."""
+        i, j, B, C, D, _ = ops
+        lat = build_lattice(B[i, j] * C[i, j] + D[i, j], j)
+        sets = {frozenset(p.iterators) for p in lat.points}
+        assert frozenset([id(B), id(C), id(D)]) in sets
+        assert frozenset([id(B), id(C)]) in sets
+        assert frozenset([id(D)]) in sets
+        # {B} or {C} alone contribute nothing (their product term dies).
+        assert frozenset([id(B)]) not in sets
+
+    def test_universe_absorbs_union(self, ops):
+        i, j, B, _, _, U = ops
+        lat = build_lattice(B[i, j] + U[i, j], j)
+        assert lat.has_universe
+
+    def test_universe_in_product_drops(self, ops):
+        """B * U iterates only B (locate into the dense operand)."""
+        i, j, B, _, _, U = ops
+        lat = build_lattice(B[i, j] * U[i, j], j)
+        assert not lat.has_universe
+        assert len(lat.points) == 1
+
+    def test_points_ordered_descending(self, ops):
+        i, j, B, C, D, _ = ops
+        lat = build_lattice(B[i, j] + C[i, j] + D[i, j], j)
+        sizes = [len(p) for p in lat.points]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_describe(self, ops):
+        i, j, B, C, *_ = ops
+        text = build_lattice(B[i, j] + C[i, j], j).describe()
+        assert "lattice(j)" in text and "B" in text and "C" in text
+
+
+class TestIterationSpace:
+    def test_intersection_space(self, ops):
+        i, j, B, C, *_ = ops
+        lat = build_lattice(B[i, j] * C[i, j], j)
+        space = iteration_space(lat, {
+            id(B): np.array([1, 3, 5]), id(C): np.array([3, 5, 7]),
+        }, 8)
+        assert space.tolist() == [3, 5]
+
+    def test_union_space(self, ops):
+        i, j, B, C, *_ = ops
+        lat = build_lattice(B[i, j] + C[i, j], j)
+        space = iteration_space(lat, {
+            id(B): np.array([1, 3]), id(C): np.array([3, 7]),
+        }, 8)
+        assert space.tolist() == [1, 3, 7]
+
+    def test_mixed_space(self, ops):
+        """(B*C) + D visits (B∩C) ∪ D."""
+        i, j, B, C, D, _ = ops
+        lat = build_lattice(B[i, j] * C[i, j] + D[i, j], j)
+        space = iteration_space(lat, {
+            id(B): np.array([0, 2, 4]),
+            id(C): np.array([2, 4, 6]),
+            id(D): np.array([5]),
+        }, 8)
+        assert space.tolist() == [2, 4, 5]
+
+    def test_universe_space(self, ops):
+        i, j, B, _, _, U = ops
+        lat = build_lattice(B[i, j] + U[i, j], j)
+        assert iteration_space(lat, {id(B): np.array([1])}, 5).tolist() == [
+            0, 1, 2, 3, 4,
+        ]
+
+    def test_empty_operands(self, ops):
+        i, j, B, C, *_ = ops
+        lat = build_lattice(B[i, j] * C[i, j], j)
+        space = iteration_space(lat, {
+            id(B): np.zeros(0, dtype=np.int64), id(C): np.array([1]),
+        }, 8)
+        assert space.tolist() == []

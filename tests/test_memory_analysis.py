@@ -1,0 +1,155 @@
+"""Unit tests for the memory analysis (Section 6 bindings)."""
+
+import pytest
+
+from repro.core import analyze, plan_memory
+from repro.formats import MemoryType
+from repro.kernels import KERNELS
+from tests.helpers_kernels import build_small_kernel_stmt
+
+
+def plan_for(name: str):
+    stmt, out, tensors = build_small_kernel_stmt(name)
+    analysis = analyze(stmt)
+    return plan_memory(analysis), analysis
+
+
+class TestSddmmBindings:
+    """The Figure 8 / Figure 11 narrative for the running example."""
+
+    def setup_method(self):
+        self.plan, self.analysis = plan_for("SDDMM")
+
+    def test_b_pos_dense_sram_at_top(self):
+        b = self.plan.binding("B", "pos1")
+        assert b.memory is MemoryType.SRAM_DENSE
+        assert b.alloc_depth == 0
+
+    def test_b_crd_fifo_in_i_body(self):
+        b = self.plan.binding("B", "crd1")
+        assert b.memory is MemoryType.FIFO
+        assert b.alloc_depth == 1  # allocated alongside the j loop
+
+    def test_b_vals_fifo_in_order(self):
+        b = self.plan.binding("B", "vals")
+        assert b.memory is MemoryType.FIFO
+        assert b.alloc_depth == 1
+
+    def test_c_dense_slice_per_row(self):
+        b = self.plan.binding("C", "vals")
+        assert b.memory is MemoryType.SRAM_DENSE
+        assert not b.staged_full
+        assert b.alloc_depth == 1  # row i slice
+
+    def test_d_dense_slice_per_column(self):
+        b = self.plan.binding("D", "vals")
+        assert b.memory is MemoryType.SRAM_DENSE
+        assert b.alloc_depth == 2  # column j slice (Figure 11 line 30)
+
+    def test_output_streams(self):
+        assert self.plan.binding("A", "vals").memory is MemoryType.FIFO
+        assert self.plan.binding("A", "crd1").memory is MemoryType.FIFO
+        assert self.plan.binding("A", "pos1").memory is MemoryType.SRAM_DENSE
+
+    def test_workspace_register(self):
+        assert self.plan.binding("ws", "scalar").memory is MemoryType.REGISTER
+
+    def test_no_shuffle(self):
+        assert not any(b.uses_shuffle for b in self.plan.bindings.values())
+
+
+class TestSpmvBindings:
+    def setup_method(self):
+        self.plan, self.analysis = plan_for("SpMV")
+
+    def test_x_gathered_through_shuffle(self):
+        b = self.plan.binding("x", "vals")
+        assert b.memory is MemoryType.SRAM_SPARSE
+        assert b.uses_shuffle
+        assert b.staged_full
+
+    def test_a_vals_fifo(self):
+        assert self.plan.binding("A", "vals").memory is MemoryType.FIFO
+
+    def test_output_vector_fifo(self):
+        assert self.plan.binding("y", "vals").memory is MemoryType.FIFO
+
+
+class TestCoiterationBindings:
+    def test_innerprod_vals_sparse_sram(self):
+        plan, _ = plan_for("InnerProd")
+        for t in ("B", "C"):
+            b = plan.binding(t, "vals")
+            assert b.memory is MemoryType.SRAM_SPARSE
+            # AND scans do not cross lanes.
+            assert not b.uses_shuffle
+
+    def test_innerprod_bitvectors(self):
+        plan, _ = plan_for("InnerProd")
+        assert plan.get("B", "bv1") is not None
+        assert plan.get("B", "bv2") is not None
+        assert plan.binding("B", "bv1").memory is MemoryType.BIT_VECTOR
+
+    def test_plus2_union_uses_shuffle(self):
+        plan, _ = plan_for("Plus2")
+        assert plan.binding("B", "vals").uses_shuffle
+        assert plan.binding("C", "vals").uses_shuffle
+        assert plan.shuffle_levels() >= 1
+
+    def test_plus3_workspace_sram(self):
+        plan, _ = plan_for("Plus3")
+        b = plan.binding("T", "vals")
+        assert b.memory is MemoryType.SRAM_SPARSE
+
+
+class TestDenseOperandStaging:
+    def test_mttkrp_factors_staged_full(self):
+        plan, _ = plan_for("MTTKRP")
+        for t in ("C", "D"):
+            b = plan.binding(t, "vals")
+            assert b.memory is MemoryType.SRAM_DENSE
+            assert b.staged_full  # strided slices: whole tensor once
+            assert not b.uses_shuffle
+
+    def test_ttm_factor_staged_full(self):
+        plan, _ = plan_for("TTM")
+        b = plan.binding("C", "vals")
+        assert b.staged_full
+        assert not b.uses_shuffle
+
+    def test_ttv_vector_gathered(self):
+        plan, _ = plan_for("TTV")
+        b = plan.binding("c", "vals")
+        assert b.memory is MemoryType.SRAM_SPARSE
+        assert b.uses_shuffle
+
+
+class TestAnalysisStructure:
+    def test_sddmm_depths(self):
+        _, analysis = plan_for("SDDMM")
+        depths = {f.ivar.name: f.depth for f in analysis.foralls}
+        assert depths == {"i": 0, "j": 1, "k": 2}
+
+    def test_sddmm_roles(self):
+        _, analysis = plan_for("SDDMM")
+        assert analysis.output.name == "A"
+        assert {t.name for t in analysis.inputs} == {"B", "C", "D"}
+        assert {t.name for t in analysis.workspaces} == {"ws"}
+
+    def test_mapcall_recorded(self):
+        _, analysis = plan_for("SDDMM")
+        k_info = [f for f in analysis.foralls if f.ivar.name == "k"][0]
+        assert k_info.mapped is not None
+        assert k_info.mapped.func == "Reduction"
+
+    def test_plus3_producer_consumer_depths(self):
+        _, analysis = plan_for("Plus3")
+        depths = {f.ivar.name: f.depth for f in analysis.foralls}
+        assert depths["i"] == 0
+        assert depths["j"] == 1 and depths["jw"] == 1
+
+    def test_report_mentions_every_tensor(self):
+        plan, analysis = plan_for("SDDMM")
+        report = plan.report()
+        for name in ("A", "B", "C", "D", "ws"):
+            assert name in report

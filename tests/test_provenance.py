@@ -1,0 +1,89 @@
+"""Unit tests for index-variable provenance (split/fuse bounds)."""
+
+import pytest
+
+from repro.ir import index_vars
+from repro.ir.cin import FuseRel, SplitDown, SplitUp
+from repro.schedule.provenance import Provenance
+
+
+@pytest.fixture
+def vars6():
+    return index_vars("i io ii j f k")
+
+
+class TestRoots:
+    def test_underived_is_its_own_root(self, vars6):
+        i, *_ = vars6
+        prov = Provenance()
+        assert prov.roots(i) == (i,)
+        assert not prov.is_derived(i)
+
+    def test_split_roots(self, vars6):
+        i, io, ii, *_ = vars6
+        prov = Provenance([SplitUp(i, io, ii, 4)])
+        assert prov.roots(io) == (i,)
+        assert prov.roots(ii) == (i,)
+        assert prov.is_derived(io) and prov.is_derived(ii)
+
+    def test_fuse_roots_pair(self, vars6):
+        i, io, ii, j, f, k = vars6
+        prov = Provenance([FuseRel(i, j, f)])
+        assert prov.roots(f) == (i, j)
+
+    def test_chained_derivation(self, vars6):
+        i, io, ii, j, f, k = vars6
+        prov = Provenance([SplitUp(i, io, ii, 4), FuseRel(io, ii, f)])
+        assert prov.roots(f) == (i, i)
+
+
+class TestTripCounts:
+    def test_split_up_counts(self, vars6):
+        i, io, ii, *_ = vars6
+        prov = Provenance([SplitUp(i, io, ii, 4)])
+        dims = {id(i): 10}
+        assert prov.trip_count(io, dims) == 3  # ceil(10/4)
+        assert prov.trip_count(ii, dims) == 4
+
+    def test_split_down_counts(self, vars6):
+        i, io, ii, *_ = vars6
+        prov = Provenance([SplitDown(i, io, ii, 4)])
+        dims = {id(i): 10}
+        assert prov.trip_count(io, dims) == 4
+        assert prov.trip_count(ii, dims) == 3
+
+    def test_fuse_counts_multiply(self, vars6):
+        i, io, ii, j, f, k = vars6
+        prov = Provenance([FuseRel(i, j, f)])
+        dims = {id(i): 3, id(j): 5}
+        assert prov.trip_count(f, dims) == 15
+
+    def test_root_count_from_dims(self, vars6):
+        i, *_ = vars6
+        prov = Provenance()
+        assert prov.trip_count(i, {id(i): 7}) == 7
+
+    def test_missing_dim_raises(self, vars6):
+        i, *_ = vars6
+        prov = Provenance()
+        with pytest.raises(KeyError):
+            prov.trip_count(i, {})
+
+    def test_nested_split(self, vars6):
+        i, io, ii, j, f, k = vars6
+        prov = Provenance([SplitUp(i, io, ii, 4), SplitUp(io, j, k, 2)])
+        dims = {id(i): 16}
+        assert prov.trip_count(io, dims) == 4
+        assert prov.trip_count(j, dims) == 2
+        assert prov.trip_count(k, dims) == 2
+
+
+class TestRecombine:
+    def test_roles(self, vars6):
+        i, io, ii, *_ = vars6
+        prov = Provenance([SplitUp(i, io, ii, 4)])
+        rel, role = prov.recombine(io)
+        assert isinstance(rel, SplitUp) and role == "outer"
+        rel, role = prov.recombine(ii)
+        assert role == "inner"
+        assert prov.recombine(i) is None

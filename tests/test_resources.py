@@ -1,0 +1,95 @@
+"""Unit tests for the Table 5 resource estimator."""
+
+import pytest
+
+from repro.capstan import DEFAULT_CONFIG, estimate_resources
+from repro.core import compile_stmt
+from repro.eval.paper_results import TABLE5_RESOURCES
+from repro.kernels import KERNEL_ORDER
+from tests.helpers_kernels import build_small_kernel_stmt
+
+
+def estimate(name: str, outer_par=None):
+    stmt, _, _ = build_small_kernel_stmt(name, outer_par=outer_par)
+    kernel = compile_stmt(stmt, name)
+    return estimate_resources(kernel)
+
+
+@pytest.mark.parametrize("name", KERNEL_ORDER)
+def test_shuffle_column_matches_table5_exactly(name):
+    """The shuffle-network column of Table 5 reproduces exactly: gathers
+    and union scans engage the network; intersections and affine accesses
+    do not."""
+    est = estimate(name)
+    paper_shuffle = TABLE5_RESOURCES[name][4]
+    assert est.shuffle == paper_shuffle
+
+
+@pytest.mark.parametrize("name", KERNEL_ORDER)
+def test_within_chip_capacity(name):
+    est = estimate(name)
+    assert 0 < est.pcu <= DEFAULT_CONFIG.n_pcu
+    assert 0 < est.pmu <= DEFAULT_CONFIG.n_pmu
+    assert 0 < est.mc <= DEFAULT_CONFIG.n_mc
+    assert 0 <= est.shuffle <= DEFAULT_CONFIG.n_shuffle
+
+
+@pytest.mark.parametrize("name", KERNEL_ORDER)
+def test_par_column(name):
+    est = estimate(name)
+    assert est.par == TABLE5_RESOURCES[name][0]
+
+
+def test_resources_scale_with_outer_par():
+    small = estimate("SpMV", outer_par=2)
+    large = estimate("SpMV", outer_par=16)
+    assert large.pcu > small.pcu
+    assert large.pmu > small.pmu
+    assert large.mc >= small.mc
+
+
+def test_plus2_is_smallest():
+    """Plus2 (par=1) uses the least of every compute resource (Table 5)."""
+    plus2 = estimate("Plus2")
+    for name in KERNEL_ORDER:
+        if name == "Plus2":
+            continue
+        other = estimate(name)
+        assert plus2.pcu <= other.pcu
+        assert plus2.mc <= other.mc
+
+
+def test_limiting_resource_identified():
+    est = estimate("SpMV")
+    assert est.limiting  # non-empty
+    utils = est.utilizations()
+    for r in est.limiting:
+        assert utils[r] == max(utils.values())
+
+
+def test_shuffle_limits_match_paper_semantics():
+    """Kernels using shuffle at par=16 hit 100% (the outer-par cap)."""
+    for name in ("SpMV", "MatTransMul", "Residual", "TTV"):
+        est = estimate(name)
+        assert est.shuffle == 16
+        assert est.shuffle_pct == 100.0
+
+
+def test_no_shuffle_for_affine_kernels():
+    for name in ("SDDMM", "TTM", "MTTKRP", "InnerProd"):
+        est = estimate(name)
+        assert est.shuffle == 0
+
+
+def test_row_rendering():
+    est = estimate("SpMV")
+    row = est.row()
+    assert "PCU" in row and "limit=" in row
+
+
+@pytest.mark.parametrize("name", KERNEL_ORDER)
+def test_pcu_within_3x_of_paper(name):
+    """PCU counts land in the paper's band (structural estimate)."""
+    est = estimate(name)
+    paper = TABLE5_RESOURCES[name][1]
+    assert paper / 3 <= est.pcu <= paper * 3

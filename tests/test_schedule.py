@@ -1,0 +1,254 @@
+"""Unit tests for the scheduling language (Tables 1 and 2)."""
+
+import pytest
+
+from repro.formats import CSR, DENSE_MATRIX, DENSE_MATRIX_CM, DENSE_VECTOR, offChip, onChip
+from repro.ir import (
+    CinAssign,
+    Forall,
+    MapCall,
+    Where,
+    forall_chain,
+    format_stmt,
+    index_vars,
+    strip_suchthat,
+)
+from repro.ir.cin import FuseRel, SplitDown, SplitUp
+from repro.schedule import INNER_PAR, OUTER_PAR, IndexStmt, ScheduleError
+from repro.tensor import Tensor, scalar
+
+
+@pytest.fixture
+def sddmm():
+    """The paper's running example (Figure 5)."""
+    N, K = 6, 4
+    A = Tensor("A", (N, N), CSR(offChip))
+    B = Tensor("B", (N, N), CSR(offChip))
+    C = Tensor("C", (N, K), DENSE_MATRIX(offChip))
+    D = Tensor("D", (K, N), DENSE_MATRIX_CM(offChip))
+    i, j, k = index_vars("i j k")
+    A[i, j] = B[i, j] * C[i, k] * D[k, j]
+    return A, B, C, D, (i, j, k)
+
+
+@pytest.fixture
+def spmv_stmt():
+    A = Tensor("A", (4, 5), CSR(offChip))
+    x = Tensor("x", (5,), DENSE_VECTOR(offChip))
+    y = Tensor("y", (4,), DENSE_VECTOR(offChip))
+    i, j = index_vars("i j")
+    y[i] = A[i, j] * x[j]
+    return y.get_index_stmt(), (i, j), (A, x, y)
+
+
+class TestEnvironment:
+    def test_sets_variables(self, spmv_stmt):
+        stmt, _, _ = spmv_stmt
+        out = stmt.environment(INNER_PAR, 16).environment(OUTER_PAR, 2)
+        assert out.environment_vars == {"innerPar": 16, "outerPar": 2}
+        assert out.inner_par == 16 and out.outer_par == 2
+
+    def test_immutable(self, spmv_stmt):
+        stmt, _, _ = spmv_stmt
+        stmt.environment(INNER_PAR, 16)
+        assert stmt.environment_vars == {}
+
+    def test_par_name_resolution(self, spmv_stmt):
+        stmt, (i, j), _ = spmv_stmt
+        ws = scalar("ws", onChip)
+        stmt = stmt.environment(INNER_PAR, 8)
+        stmt = stmt.precompute(stmt.assignment.rhs, [], [], ws)
+        out = stmt.accelerate(j, par=INNER_PAR)
+        mapped = [s for s in out.cin.walk() if isinstance(s, MapCall)]
+        assert mapped[0].par == 8
+
+    def test_unset_par_name_rejected(self, spmv_stmt):
+        stmt, (i, j), _ = spmv_stmt
+        with pytest.raises(ScheduleError, match="innerPar"):
+            stmt.map(j, "Spatial", "Reduction", par=INNER_PAR)
+
+
+class TestReorder:
+    def test_swap(self, spmv_stmt):
+        stmt, (i, j), _ = spmv_stmt
+        out = stmt.reorder(j, i)
+        loops, _ = forall_chain(out.cin)
+        assert [f.ivar for f in loops] == [j, i]
+
+    def test_four_deep(self, sddmm):
+        A, B, C, D, (i, j, k) = sddmm
+        stmt = A.get_index_stmt().reorder(k, i)
+        loops, _ = forall_chain(stmt.cin)
+        assert [f.ivar.name for f in loops] == ["k", "j", "i"]
+
+    def test_unknown_var_rejected(self, spmv_stmt):
+        stmt, (i, j), _ = spmv_stmt
+        z = index_vars("z")[0]
+        with pytest.raises(ScheduleError, match="not in forall chain"):
+            stmt.reorder(z, i)
+
+
+class TestSplitFuse:
+    def test_split_up_structure(self, spmv_stmt):
+        stmt, (i, j), _ = spmv_stmt
+        io, ii = index_vars("io ii")
+        out = stmt.split_up(i, io, ii, 4)
+        body, rels = strip_suchthat(out.cin)
+        loops, _ = forall_chain(body)
+        assert [f.ivar for f in loops] == [io, ii, j]
+        assert isinstance(rels[0], SplitUp)
+        assert rels[0].factor == 4
+
+    def test_split_down_relation(self, spmv_stmt):
+        stmt, (i, j), _ = spmv_stmt
+        io, ii = index_vars("io ii")
+        out = stmt.split_down(i, io, ii, 4)
+        _, rels = strip_suchthat(out.cin)
+        assert isinstance(rels[0], SplitDown)
+
+    def test_split_bad_factor(self, spmv_stmt):
+        stmt, (i, j), _ = spmv_stmt
+        io, ii = index_vars("io ii")
+        with pytest.raises(ScheduleError):
+            stmt.split_up(i, io, ii, 0)
+
+    def test_fuse_structure(self, spmv_stmt):
+        stmt, (i, j), _ = spmv_stmt
+        f = index_vars("f")[0]
+        out = stmt.fuse(i, j, f)
+        body, rels = strip_suchthat(out.cin)
+        loops, _ = forall_chain(body)
+        assert [x.ivar for x in loops] == [f]
+        assert isinstance(rels[0], FuseRel)
+
+    def test_fuse_requires_direct_nesting(self, sddmm):
+        A, *_rest, (i, j, k) = sddmm
+        stmt = A.get_index_stmt()
+        f = index_vars("f")[0]
+        with pytest.raises(ScheduleError, match="not directly nested"):
+            stmt.fuse(i, k, f)
+
+    def test_split_then_fuse_round_trip(self, spmv_stmt):
+        stmt, (i, j), _ = spmv_stmt
+        io, ii, f = index_vars("io ii f")
+        out = stmt.split_up(i, io, ii, 4).fuse(io, ii, f)
+        body, rels = strip_suchthat(out.cin)
+        loops, _ = forall_chain(body)
+        assert [x.ivar for x in loops] == [f, j]
+        assert len(rels) == 2
+
+
+class TestPrecompute:
+    def test_scalar_workspace_reduction(self, spmv_stmt):
+        """Figure 5 pattern: forall(... = ws where forall ws += ...)."""
+        stmt, (i, j), (A, x, y) = spmv_stmt
+        ws = scalar("ws", onChip)
+        out = stmt.precompute(A[i, j] * x[j], [], [], ws)
+        # forall(i) (y = ws where forall(j) ws += A*x)
+        assert isinstance(out.cin, Forall) and out.cin.ivar is i
+        where = out.cin.body
+        assert isinstance(where, Where)
+        assert isinstance(where.consumer, CinAssign)
+        assert where.consumer.lhs.tensor is y
+        assert not where.consumer.accumulate
+        prod_loops, prod_inner = forall_chain(where.producer)
+        assert [f.ivar for f in prod_loops] == [j]
+        assert prod_inner.accumulate
+        assert prod_inner.lhs.tensor is ws
+
+    def test_figure6a_partial_load(self, sddmm):
+        """precompute(C(i,k), {k}, {kw}, C_on) places the where inside j."""
+        A, B, C, D, (i, j, k) = sddmm
+        kw = index_vars("kw")[0]
+        C_on = Tensor("C_on", (C.shape[1],), DENSE_VECTOR(onChip))
+        out = A.get_index_stmt().precompute(C[i, k], [k], [kw], C_on)
+        # forall(i) forall(j) (forall(k) A += B*C_on(k)*D where
+        #   forall(kw) C_on(kw) = C(i,kw))
+        loops, inner = forall_chain(out.cin)
+        assert [f.ivar for f in loops] == [i, j]
+        assert isinstance(inner, Where)
+        cons_loops, cons_inner = forall_chain(inner.consumer)
+        assert [f.ivar for f in cons_loops] == [k]
+        assert any(a.tensor is C_on for a in cons_inner.rhs.accesses())
+        prod_loops, prod_inner = forall_chain(inner.producer)
+        assert [f.ivar for f in prod_loops] == [kw]
+        assert prod_inner.lhs.tensor is C_on
+
+    def test_figure6b_full_load(self, sddmm):
+        """precompute(C(i,k), {i,k}, {iw,kw}, C_on) hoists above i."""
+        A, B, C, D, (i, j, k) = sddmm
+        iw, kw = index_vars("iw kw")
+        C_on = Tensor("C_on", C.shape, DENSE_MATRIX(onChip))
+        out = A.get_index_stmt().precompute(C[i, k], [i, k], [iw, kw], C_on)
+        assert isinstance(out.cin, Where)
+        prod_loops, _ = forall_chain(out.cin.producer)
+        assert [f.ivar for f in prod_loops] == [iw, kw]
+        cons_loops, _ = forall_chain(out.cin.consumer)
+        assert [f.ivar for f in cons_loops] == [i, j, k]
+
+    def test_workspace_order_mismatch(self, spmv_stmt):
+        stmt, (i, j), (A, x, y) = spmv_stmt
+        ws = scalar("ws", onChip)
+        with pytest.raises(ScheduleError, match="order"):
+            stmt.precompute(A[i, j] * x[j], [j], [j], ws)
+
+    def test_missing_expression(self, spmv_stmt):
+        stmt, (i, j), (A, x, y) = spmv_stmt
+        ws = scalar("ws", onChip)
+        with pytest.raises(ScheduleError, match="no assignment contains"):
+            stmt.precompute(x[j] + x[j], [], [], ws)
+
+    def test_consumer_keeps_accumulate_after_init(self):
+        """Sequence-split statements keep += on the reduction consumer."""
+        A = Tensor("A", (4, 5), CSR(offChip))
+        x = Tensor("x", (5,), DENSE_VECTOR(offChip))
+        b = Tensor("b", (4,), DENSE_VECTOR(offChip))
+        y = Tensor("y", (4,), DENSE_VECTOR(offChip))
+        i, j = index_vars("i j")
+        term = A[i, j] * x[j]
+        y[i] = b[i] - term
+        ws = scalar("ws", onChip)
+        stmt = y.get_index_stmt().precompute(term, [], [], ws)
+        consumers = [
+            a for a in stmt.cin.assignments()
+            if a.lhs.tensor is y and any(
+                acc.tensor is ws for acc in a.rhs.accesses()
+            )
+        ]
+        assert len(consumers) == 1
+        assert consumers[0].accumulate
+
+
+class TestMapAccelerate:
+    def test_map_wraps_forall(self, spmv_stmt):
+        stmt, (i, j), _ = spmv_stmt
+        ws = scalar("ws", onChip)
+        stmt = stmt.precompute(stmt.assignment.rhs, [], [], ws)
+        out = stmt.map(j, "Spatial", "Reduction", 16)
+        mapped = [s for s in out.cin.walk() if isinstance(s, MapCall)]
+        assert len(mapped) == 1
+        assert mapped[0].backend == "Spatial"
+        assert mapped[0].func == "Reduction"
+        assert isinstance(mapped[0].original, Forall)
+        assert mapped[0].original.ivar is j
+
+    def test_map_unknown_var(self, spmv_stmt):
+        stmt, _, _ = spmv_stmt
+        z = index_vars("z")[0]
+        with pytest.raises(ScheduleError):
+            stmt.map(z, "Spatial", "Reduction")
+
+    def test_accelerate_formats_in_str(self, spmv_stmt):
+        stmt, (i, j), _ = spmv_stmt
+        ws = scalar("ws", onChip)
+        stmt = stmt.precompute(stmt.assignment.rhs, [], [], ws)
+        out = stmt.accelerate(j, "Spatial", "Reduction", 16)
+        assert "Reduction[Spatial]" in format_stmt(out.cin)
+
+    def test_map_tensors_exposed(self, spmv_stmt):
+        stmt, (i, j), (A, x, y) = spmv_stmt
+        ws = scalar("ws", onChip)
+        stmt = stmt.precompute(stmt.assignment.rhs, [], [], ws)
+        out = stmt.map(j, "Spatial", "Reduction")
+        mapped = [s for s in out.cin.walk() if isinstance(s, MapCall)][0]
+        assert {t.name for t in mapped.tensors} == {"A", "x", "ws"}

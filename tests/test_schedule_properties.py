@@ -1,0 +1,100 @@
+"""Property tests: scheduling transformations preserve semantics.
+
+Every legal schedule of a statement must compute the same result — the
+core guarantee of the separation of algorithm and schedule (Section 5).
+Random schedule compositions are applied to SpMV/SDDMM and the compiled
+results compared against the unscheduled dense reference.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import compile_stmt
+from repro.formats import CSR, DENSE_MATRIX, DENSE_MATRIX_CM, DENSE_VECTOR, offChip, onChip
+from repro.ir import index_vars
+from repro.tensor import Tensor, evaluate_dense, scalar, to_dense
+
+
+def make_spmv(seed: int, n=8, m=12, density=0.4):
+    rng = np.random.default_rng(seed)
+    mat = (rng.random((n, m)) < density) * rng.random((n, m))
+    A = Tensor("A", (n, m), CSR(offChip)).from_dense(mat)
+    x = Tensor("x", (m,), DENSE_VECTOR(offChip)).from_dense(rng.random(m))
+    y = Tensor("y", (n,), DENSE_VECTOR(offChip))
+    i, j = index_vars("i j")
+    y[i] = A[i, j] * x[j]
+    return y, (i, j), (A, x)
+
+
+@given(
+    st.integers(0, 2 ** 31 - 1),
+    st.integers(1, 32),  # innerPar
+    st.integers(1, 64),  # outerPar
+    st.booleans(),  # accelerate the reduction?
+)
+@settings(max_examples=25, deadline=None)
+def test_parallelization_factors_never_change_results(seed, ip, op, accel):
+    y, (i, j), (A, x) = make_spmv(seed)
+    ws = scalar("ws", onChip)
+    stmt = (y.get_index_stmt()
+            .environment("innerPar", ip).environment("outerPar", op)
+            .precompute(A[i, j] * x[j], [], [], ws))
+    if accel:
+        stmt = stmt.accelerate(j, "Spatial", "Reduction", par="innerPar")
+    kernel = compile_stmt(stmt, "spmv")
+    assert np.allclose(to_dense(kernel.run()),
+                       evaluate_dense(y.get_assignment()))
+
+
+@given(st.integers(0, 2 ** 31 - 1), st.sampled_from([2, 4, 8]))
+@settings(max_examples=15, deadline=None)
+def test_split_factor_never_changes_results(seed, factor):
+    # Row count divisible by every factor (tail guards are out of scope).
+    y, (i, j), (A, x) = make_spmv(seed, n=8)
+    io, ii = index_vars("io ii")
+    ws = scalar("ws", onChip)
+    stmt = (y.get_index_stmt()
+            .environment("innerPar", 8).environment("outerPar", 2)
+            .split_up(i, io, ii, factor)
+            .precompute(A[i, j] * x[j], [], [], ws)
+            .accelerate(j, "Spatial", "Reduction", par="innerPar"))
+    kernel = compile_stmt(stmt, "spmv_tiled")
+    assert np.allclose(to_dense(kernel.run()),
+                       evaluate_dense(y.get_assignment()))
+
+
+@given(st.integers(0, 2 ** 31 - 1), st.booleans())
+@settings(max_examples=15, deadline=None)
+def test_sddmm_schedule_equivalence(seed, use_reduce):
+    rng = np.random.default_rng(seed)
+    n, k = 6, 5
+    b = (rng.random((n, n)) < 0.4) * rng.random((n, n))
+    A = Tensor("A", (n, n), CSR(offChip))
+    B = Tensor("B", (n, n), CSR(offChip)).from_dense(b)
+    C = Tensor("C", (n, k), DENSE_MATRIX(offChip)).from_dense(rng.random((n, k)))
+    D = Tensor("D", (k, n), DENSE_MATRIX_CM(offChip)).from_dense(rng.random((k, n)))
+    i, j, kk = index_vars("i j k")
+    A[i, j] = B[i, j] * C[i, kk] * D[kk, j]
+    ws = scalar("ws", onChip)
+    stmt = (A.get_index_stmt()
+            .environment("innerPar", 16).environment("outerPar", 4)
+            .precompute(B[i, j] * C[i, kk] * D[kk, j], [], [], ws))
+    if use_reduce:
+        stmt = stmt.accelerate(kk, "Spatial", "Reduction", par="innerPar")
+    kernel = compile_stmt(stmt, "sddmm")
+    assert np.allclose(to_dense(kernel.run()),
+                       evaluate_dense(A.get_assignment()))
+
+
+@given(st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_auto_schedule_equals_manual(seed):
+    """The auto-scheduler's output is semantically identical to manual."""
+    from repro.schedule import auto_schedule
+
+    y, (i, j), (A, x) = make_spmv(seed)
+    auto = compile_stmt(auto_schedule(y), "auto")
+    assert np.allclose(to_dense(auto.run()),
+                       evaluate_dense(y.get_assignment()))

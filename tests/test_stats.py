@@ -1,0 +1,148 @@
+"""Unit tests for workload-statistics extraction."""
+
+import numpy as np
+import pytest
+
+from repro.capstan.stats import compute_stats
+from repro.core import compile_stmt
+from tests.helpers_kernels import build_small_kernel_stmt, make_small_tensors
+
+
+def stats_for(name: str, density: float = 0.4, seed: int = 42):
+    stmt, out, tensors = build_small_kernel_stmt(name, seed=seed, density=density)
+    kernel = compile_stmt(stmt, name.lower())
+    return compute_stats(kernel), kernel, tensors
+
+
+class TestSpmvStats:
+    def test_loop_iters_exact(self):
+        stats, kernel, tensors = stats_for("SpMV")
+        nnz = tensors["A"].nnz
+        rows = tensors["A"].shape[0]
+        assert stats.loop("i").iters == rows
+        assert stats.loop("j").iters == nnz
+        assert stats.loop("j").launches == rows
+
+    def test_gathers_counted(self):
+        stats, _, tensors = stats_for("SpMV")
+        # One x gather per nonzero.
+        assert stats.gather_elems == tensors["A"].nnz
+
+    def test_traffic_includes_all_arrays(self):
+        stats, _, tensors = stats_for("SpMV")
+        A = tensors["A"].storage
+        x_len = tensors["x"].shape[0]
+        expected_reads = (
+            len(A.levels[1].pos) + len(A.levels[1].crd) + len(A.vals) + x_len
+        ) * 4
+        assert stats.dram_read_bytes == expected_reads
+
+    def test_output_writes(self):
+        stats, _, tensors = stats_for("SpMV")
+        assert stats.dram_write_bytes == tensors["y"].shape[0] * 4
+
+    def test_kind_labels(self):
+        stats, _, _ = stats_for("SpMV")
+        assert stats.loop("i").kind == "dense"
+        assert stats.loop("j").kind == "compressed"
+        assert stats.loop("j").is_innermost
+
+
+class TestScanStats:
+    def test_innerprod_intersection_counts(self):
+        stats, _, tensors = stats_for("InnerProd")
+        b = tensors["B"].to_dense() != 0
+        c = tensors["C"].to_dense() != 0
+        both = b & c
+        # j-level: matched (i, j) prefix pairs; k-level: matched coords.
+        ij_b = np.any(b, axis=2)
+        ij_c = np.any(c, axis=2)
+        assert stats.loop("j").iters == int((ij_b & ij_c).sum())
+        assert stats.loop("k").iters == int(both.sum())
+
+    def test_plus2_union_counts(self):
+        stats, _, tensors = stats_for("Plus2")
+        b = tensors["B"].to_dense() != 0
+        c = tensors["C"].to_dense() != 0
+        either = b | c
+        ij = np.any(b, axis=2) | np.any(c, axis=2)
+        assert stats.loop("j").iters == int(ij.sum())
+        assert stats.loop("k").iters == int(either.sum())
+
+    def test_plus3_workspace_union(self):
+        stats, _, tensors = stats_for("Plus3")
+        b = tensors["B"].to_dense() != 0
+        c = tensors["C"].to_dense() != 0
+        d = tensors["D"].to_dense() != 0
+        assert stats.loop("jw").iters == int((b | c).sum())
+        assert stats.loop("j").iters == int((b | c | d).sum())
+
+    def test_scan_words_scale_with_launches(self):
+        stats, _, tensors = stats_for("Plus2")
+        rows = tensors["B"].shape[0]
+        j_loop = stats.loop("j")
+        assert j_loop.scan_words > 0
+        assert j_loop.launches == rows
+
+    def test_bv_coords_counted(self):
+        stats, _, tensors = stats_for("InnerProd")
+        j_loop = stats.loop("j")
+        # Both operands' level-1 fibers stream into Gen BV blocks.
+        assert j_loop.bv_coords > 0
+
+
+class TestRestriction:
+    def test_intersection_restricts_deeper_levels(self):
+        """InnerProd's k segments only load for matched (i,j) pairs."""
+        stats, _, tensors = stats_for("InnerProd", density=0.15)
+        b = tensors["B"].to_dense() != 0
+        c = tensors["C"].to_dense() != 0
+        matched = (np.any(b, axis=2) & np.any(c, axis=2))
+        # bv coords at the k level = entries within matched fibers.
+        k_loop = stats.loop("k")
+        b_matched = int((b & matched[:, :, None]).sum())
+        c_matched = int((c & matched[:, :, None]).sum())
+        assert k_loop.bv_coords == b_matched + c_matched
+
+
+class TestDenseStats:
+    def test_mttkrp_dense_inner(self):
+        stats, _, tensors = stats_for("MTTKRP")
+        nnz = tensors["B"].nnz
+        r = tensors["C"].shape[0]
+        assert stats.loop("j").iters == nnz * r
+        assert stats.loop("j").kind == "dense"
+
+    def test_flops_positive_and_scaled(self):
+        stats, _, _ = stats_for("SDDMM")
+        assert stats.flops > 0
+
+    def test_slice_traffic_tracked(self):
+        stats, _, tensors = stats_for("SDDMM")
+        assert stats.slice_read_bytes > 0
+        assert stats.slice_read_bytes <= stats.dram_read_bytes
+
+    def test_vector_par_assignment(self):
+        stats, _, _ = stats_for("SDDMM")
+        assert stats.loop("k").vector_par == 16
+        assert stats.loop("i").vector_par == 1
+
+
+class TestAggregates:
+    def test_totals_consistent(self):
+        stats, _, _ = stats_for("Plus2")
+        assert stats.dram_total_bytes == (
+            stats.dram_read_bytes + stats.dram_write_bytes
+        )
+        assert stats.total_scan_words == sum(
+            l.scan_words for l in stats.loops
+        )
+
+    def test_unknown_loop_lookup(self):
+        stats, _, _ = stats_for("SpMV")
+        with pytest.raises(KeyError):
+            stats.loop("zz")
+
+    def test_innermost_iters(self):
+        stats, _, tensors = stats_for("SpMV")
+        assert stats.innermost_iters == tensors["A"].nnz

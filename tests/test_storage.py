@@ -1,0 +1,212 @@
+"""Unit tests for level-based tensor storage (pack/unpack)."""
+
+import numpy as np
+import pytest
+
+from repro.formats import (
+    CSC,
+    CSF,
+    CSR,
+    DENSE_MATRIX,
+    DENSE_VECTOR,
+    SPARSE_VECTOR,
+    UCC,
+    Format,
+    compressed,
+    dense,
+    offChip,
+)
+from repro.tensor.storage import (
+    CompressedLevel,
+    DenseLevel,
+    from_dense,
+    pack,
+    to_dense,
+    unpack,
+)
+
+
+def figure8_matrix() -> np.ndarray:
+    """The example matrix of Figure 8."""
+    return np.array([
+        [0, 1, 0, 0],
+        [2, 0, 3, 0],
+        [0, 4, 0, 0],
+        [0, 0, 0, 5],
+    ], dtype=float)
+
+
+class TestCsrPacking:
+    def test_figure8_arrays(self):
+        st = from_dense(figure8_matrix(), CSR(offChip))
+        lvl = st.levels[1]
+        assert isinstance(lvl, CompressedLevel)
+        # Figure 8: row positions [0,1,3,4,5], col coords [1,0,2,1,3].
+        assert lvl.pos.tolist() == [0, 1, 3, 4, 5]
+        assert lvl.crd.tolist() == [1, 0, 2, 1, 3]
+        assert st.vals.tolist() == [1, 2, 3, 4, 5]
+
+    def test_dense_level_is_implicit(self):
+        st = from_dense(figure8_matrix(), CSR(offChip))
+        assert isinstance(st.levels[0], DenseLevel)
+        assert st.levels[0].size == 4
+
+    def test_round_trip(self):
+        m = figure8_matrix()
+        assert np.array_equal(to_dense(from_dense(m, CSR(offChip))), m)
+
+    def test_empty_rows(self):
+        m = np.zeros((3, 4))
+        m[1, 2] = 7.0
+        st = from_dense(m, CSR(offChip))
+        assert st.levels[1].pos.tolist() == [0, 0, 1, 1]
+        assert np.array_equal(to_dense(st), m)
+
+    def test_all_zero_matrix(self):
+        st = from_dense(np.zeros((3, 3)), CSR(offChip))
+        assert st.nnz == 0
+        assert np.array_equal(to_dense(st), np.zeros((3, 3)))
+
+
+class TestCscPacking:
+    def test_column_major_traversal(self):
+        m = figure8_matrix()
+        st = from_dense(m, CSC(offChip))
+        # Level 0 stores mode 1 (columns); level 1 compresses rows.
+        assert st.levels[0].size == 4
+        lvl = st.levels[1]
+        # Column 0: row 1; column 1: rows 0,2; column 2: row 1; column 3: row 3.
+        assert lvl.pos.tolist() == [0, 1, 3, 4, 5]
+        assert lvl.crd.tolist() == [1, 0, 2, 1, 3]
+        assert st.vals.tolist() == [2, 1, 4, 3, 5]
+
+    def test_round_trip(self):
+        m = figure8_matrix()
+        assert np.array_equal(to_dense(from_dense(m, CSC(offChip))), m)
+
+
+class TestCsfPacking:
+    def test_three_level_structure(self, rng):
+        t = (rng.random((3, 4, 5)) < 0.3) * rng.random((3, 4, 5))
+        st = from_dense(t, CSF(offChip))
+        assert all(isinstance(l, CompressedLevel) for l in st.levels)
+        assert np.array_equal(to_dense(st), t)
+
+    def test_level_nnz_monotone(self, rng):
+        t = (rng.random((4, 4, 4)) < 0.4) * rng.random((4, 4, 4))
+        st = from_dense(t, CSF(offChip))
+        n0, n1, n2 = (l.nnz for l in st.levels)
+        assert n0 <= n1 <= n2
+        assert n2 == np.count_nonzero(t)
+
+    def test_root_pos_spans_level0(self, rng):
+        t = (rng.random((4, 4, 4)) < 0.4) * rng.random((4, 4, 4))
+        st = from_dense(t, CSF(offChip))
+        assert st.levels[0].pos.tolist()[0] == 0
+        assert st.levels[0].pos.tolist()[-1] == st.levels[0].nnz
+
+
+class TestUccPacking:
+    def test_dense_then_compressed(self, rng):
+        t = (rng.random((3, 4, 5)) < 0.3) * rng.random((3, 4, 5))
+        st = from_dense(t, UCC(offChip))
+        assert isinstance(st.levels[0], DenseLevel)
+        assert isinstance(st.levels[1], CompressedLevel)
+        # Level-1 pos has one segment per dense slot of level 0.
+        assert len(st.levels[1].pos) == 3 + 1
+        assert np.array_equal(to_dense(st), t)
+
+
+class TestDenseFormats:
+    def test_dense_matrix_keeps_zeros(self):
+        m = figure8_matrix()
+        st = from_dense(m, DENSE_MATRIX(offChip))
+        assert st.nnz == 16  # every slot materialised
+        assert np.array_equal(to_dense(st), m)
+
+    def test_dense_vector(self):
+        v = np.array([0.0, 1.5, 0.0, 2.5])
+        st = from_dense(v, DENSE_VECTOR(offChip))
+        assert st.vals.tolist() == v.tolist()
+
+    def test_trailing_dense_level(self, rng):
+        fmt = Format([compressed, dense], offChip)
+        m = np.zeros((4, 3))
+        m[1] = [1, 0, 2]
+        m[3] = [0, 5, 0]
+        st = from_dense(m, fmt)
+        # Two stored rows, each materialising all 3 dense slots.
+        assert len(st.vals) == 2 * 3
+        assert np.array_equal(to_dense(st), m)
+
+
+class TestPackEdgeCases:
+    def test_scalar(self):
+        st = pack(np.zeros((1, 0), dtype=np.int64), [4.5], (), Format([], offChip))
+        assert st.order == 0
+        assert st.vals.tolist() == [4.5]
+
+    def test_duplicate_coordinates_sum(self):
+        coords = np.array([[0, 1], [0, 1], [1, 0]])
+        vals = np.array([2.0, 3.0, 4.0])
+        st = pack(coords, vals, (2, 2), CSR(offChip))
+        d = to_dense(st)
+        assert d[0, 1] == 5.0
+        assert d[1, 0] == 4.0
+
+    def test_unsorted_input(self):
+        coords = np.array([[1, 1], [0, 0], [1, 0]])
+        vals = np.array([1.0, 2.0, 3.0])
+        st = pack(coords, vals, (2, 2), CSR(offChip))
+        assert st.levels[1].crd.tolist() == [0, 0, 1]
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError, match="out of bounds"):
+            pack(np.array([[5, 0]]), [1.0], (2, 2), CSR(offChip))
+
+    def test_order_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="order"):
+            pack(np.array([[0, 0]]), [1.0], (2, 2), DENSE_VECTOR(offChip))
+
+    def test_coords_vals_mismatch(self):
+        with pytest.raises(ValueError, match="entry count"):
+            pack(np.array([[0, 0]]), [1.0, 2.0], (2, 2), CSR(offChip))
+
+    def test_empty_input(self):
+        st = pack(np.zeros((0, 2), dtype=np.int64), np.zeros(0), (3, 3), CSR(offChip))
+        assert st.nnz == 0
+        coords, vals = unpack(st)
+        assert len(vals) == 0
+
+
+class TestStorageAccessors:
+    def test_array_lookup(self):
+        st = from_dense(figure8_matrix(), CSR(offChip))
+        assert st.array(1, "pos").tolist() == [0, 1, 3, 4, 5]
+        assert st.array(1, "crd").tolist() == [1, 0, 2, 1, 3]
+
+    def test_array_on_dense_level_rejected(self):
+        st = from_dense(figure8_matrix(), CSR(offChip))
+        with pytest.raises(KeyError):
+            st.array(0, "pos")
+
+    def test_unknown_array_rejected(self):
+        st = from_dense(figure8_matrix(), CSR(offChip))
+        with pytest.raises(KeyError):
+            st.array(1, "values")
+
+    def test_level_dim_respects_ordering(self):
+        st = from_dense(np.ones((3, 5)), Format([dense, dense], [1, 0], offChip))
+        assert st.level_dim(0) == 5
+        assert st.level_dim(1) == 3
+
+    def test_bytes_total(self):
+        st = from_dense(figure8_matrix(), CSR(offChip))
+        # 5 vals + 5 pos entries + 5 crd entries, 4 bytes each.
+        assert st.bytes_total() == (5 + 5 + 5) * 4
+
+    def test_sparse_vector(self):
+        v = np.array([0.0, 3.0, 0.0, 7.0, 0.0])
+        st = from_dense(v, SPARSE_VECTOR(offChip))
+        assert st.levels[0].crd.tolist() == [1, 3]
+        assert st.vals.tolist() == [3.0, 7.0]

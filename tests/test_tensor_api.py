@@ -1,0 +1,138 @@
+"""Unit tests for the user-facing Tensor API."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.formats import CSC, CSR, DENSE_VECTOR, MemoryRegion, offChip, onChip
+from repro.tensor import Tensor, scalar, vector
+
+
+class TestConstruction:
+    def test_default_dense_format(self):
+        t = Tensor("t", (3, 4))
+        assert t.format.is_all_dense
+        assert t.order == 2
+
+    def test_memory_shorthand(self):
+        t = Tensor("t", (3,), memory=onChip)
+        assert t.is_on_chip
+
+    def test_memory_overrides_format_region(self):
+        t = Tensor("t", (3, 4), CSR(offChip), memory=onChip)
+        assert t.is_on_chip
+        assert t.format.has_compressed_level
+
+    def test_format_order_mismatch(self):
+        with pytest.raises(ValueError, match="order"):
+            Tensor("t", (3,), CSR(offChip))
+
+    def test_auto_name(self):
+        a, b = Tensor(shape=(2,)), Tensor(shape=(2,))
+        assert a.name != b.name
+
+    def test_scalar_and_vector_helpers(self):
+        s = scalar("s", onChip)
+        assert s.is_scalar and s.is_on_chip
+        v = vector("v", 5)
+        assert v.shape == (5,)
+
+
+class TestDataIngestion:
+    def test_insert_then_storage(self):
+        t = Tensor("t", (3, 3), CSR(offChip))
+        t.insert((0, 1), 2.0)
+        t.insert((2, 2), 3.0)
+        d = t.to_dense()
+        assert d[0, 1] == 2.0 and d[2, 2] == 3.0
+        assert t.nnz == 2
+
+    def test_insert_wrong_arity(self):
+        t = Tensor("t", (3, 3), CSR(offChip))
+        with pytest.raises(ValueError):
+            t.insert((1,), 1.0)
+
+    def test_incremental_insert_after_pack(self):
+        t = Tensor("t", (3, 3), CSR(offChip))
+        t.insert((0, 0), 1.0)
+        assert t.nnz == 1
+        t.insert((1, 1), 2.0)
+        assert t.nnz == 2  # repack merges pending entries
+
+    def test_from_dense_shape_check(self):
+        t = Tensor("t", (3, 3), CSR(offChip))
+        with pytest.raises(ValueError):
+            t.from_dense(np.zeros((2, 2)))
+
+    def test_from_coo(self, rng):
+        t = Tensor("t", (4, 4), CSR(offChip))
+        t.from_coo(np.array([[1, 2], [3, 0]]), np.array([5.0, 6.0]))
+        d = t.to_dense()
+        assert d[1, 2] == 5.0 and d[3, 0] == 6.0
+
+    def test_scalar_value(self):
+        s = scalar("s")
+        s.insert((), 7.5)
+        assert s.scalar_value() == 7.5
+        t = Tensor("t", (2,))
+        with pytest.raises(TypeError):
+            t.scalar_value()
+
+    def test_empty_tensor_storage(self):
+        t = Tensor("t", (3, 3), CSR(offChip))
+        assert t.nnz == 0
+        assert np.array_equal(t.to_dense(), np.zeros((3, 3)))
+
+
+class TestScipyInterop:
+    def test_round_trip(self, rng):
+        m = sp.random(8, 6, density=0.3, random_state=1, format="csr")
+        t = Tensor("t", (8, 6), CSR(offChip)).from_scipy(m)
+        assert np.allclose(t.to_scipy().toarray(), m.toarray())
+        assert np.allclose(t.to_dense(), m.toarray())
+
+    def test_csc_storage_from_scipy(self):
+        m = sp.random(5, 5, density=0.4, random_state=2)
+        t = Tensor("t", (5, 5), CSC(offChip)).from_scipy(m)
+        assert np.allclose(t.to_dense(), m.toarray())
+
+    def test_shape_mismatch(self):
+        m = sp.random(4, 4, density=0.5, random_state=0)
+        t = Tensor("t", (5, 5), CSR(offChip))
+        with pytest.raises(ValueError):
+            t.from_scipy(m)
+
+    def test_non_matrix_rejected(self):
+        v = Tensor("v", (4,), DENSE_VECTOR(offChip))
+        with pytest.raises(TypeError):
+            v.to_scipy()
+        with pytest.raises(TypeError):
+            v.from_scipy(sp.eye(4))
+
+
+class TestMisc:
+    def test_copy_structure(self):
+        t = Tensor("t", (3, 4), CSR(offChip))
+        c = t.copy_structure("c")
+        assert c.shape == t.shape
+        assert c.format.mode_formats == t.format.mode_formats
+        assert c.nnz == 0
+
+    def test_repr(self):
+        t = Tensor("t", (3, 4), CSR(offChip))
+        assert "t" in repr(t) and "(3, 4)" in repr(t)
+
+    def test_indexing_requires_index_vars(self):
+        t = Tensor("t", (3,))
+        with pytest.raises(TypeError):
+            t[0]
+
+    def test_get_index_stmt(self, rng):
+        from repro.ir import index_vars
+        from repro.schedule import IndexStmt
+
+        t = Tensor("t", (3,), DENSE_VECTOR(offChip)).from_dense(rng.random(3))
+        o = Tensor("o", (3,), DENSE_VECTOR(offChip))
+        (i,) = index_vars("i")
+        o[i] = t[i] * 2
+        assert isinstance(o.get_index_stmt(), IndexStmt)
