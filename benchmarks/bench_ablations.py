@@ -36,7 +36,7 @@ def _innerprod_scan_efficiency(density: float):
     tensors = make_small_tensors("InnerProd", seed=5, density=density,
                                  dims=dims)
     stmt, _ = KERNELS["InnerProd"].build(tensors)
-    kernel = compile_stmt(stmt, "innerprod")
+    kernel = compile_stmt(stmt, "innerprod", cache=False)
     stats = compute_stats(kernel)
     useful = max(1, stats.loop("k").iters)
     words_per_output = stats.total_scan_words / useful
@@ -72,7 +72,7 @@ def test_shuffle_vs_duplication(benchmark, report):
         for dspec in datasets_for("SpMV"):
             tensors = load("SpMV", dspec.name, scale=0.25)
             stmt, _ = KERNELS["SpMV"].build(tensors)
-            kernel = compile_stmt(stmt, "spmv")
+            kernel = compile_stmt(stmt, "spmv", cache=False)
             stats = compute_stats(kernel)
             compiled = CapstanSimulator().simulate(
                 kernel, dram=HBM2E, stats=stats

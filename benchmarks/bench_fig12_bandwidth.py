@@ -8,7 +8,7 @@ while Plus2 — not outer-parallelized — barely moves.
 
 import pytest
 
-from benchmarks.conftest import SCALE
+from benchmarks.conftest import JOBS, SCALE
 from repro.util import ascii_xy
 from repro.capstan import CapstanSimulator, compute_stats
 from repro.data import datasets_for
@@ -32,8 +32,10 @@ def test_bandwidth_sweep(benchmark, name):
 
 
 def test_report_figure12(benchmark, report):
-    """Regenerate and print the Figure 12 series."""
-    series = benchmark.pedantic(figure12, args=(SCALE,), rounds=1, iterations=1)
+    """Regenerate and print the Figure 12 series (via the pipeline)."""
+    series = benchmark.pedantic(
+        figure12, args=(SCALE,), kwargs={"jobs": JOBS, "use_cache": False},
+        rounds=1, iterations=1)
     chart = ascii_xy(
         {k: series[k] for k in ("SpMV", "SDDMM", "TTV", "InnerProd", "Plus2")},
         title="speedup vs DRAM bandwidth (log-log; compare paper Fig. 12)",

@@ -9,7 +9,7 @@ from statistics import geometric_mean
 
 import pytest
 
-from benchmarks.conftest import SCALE
+from benchmarks.conftest import JOBS, SCALE
 from repro.util import ascii_bars
 from repro.eval.harness import figure13
 from repro.eval.paper_results import TABLE6_NORMALISED
@@ -37,7 +37,9 @@ def _format(series: dict[str, dict[str, float]]) -> str:
 
 def test_report_figure13(benchmark, report):
     """Regenerate and print the Figure 13 series; check the headline."""
-    series = benchmark.pedantic(figure13, args=(SCALE,), rounds=1, iterations=1)
+    series = benchmark.pedantic(
+        figure13, args=(SCALE,), kwargs={"jobs": JOBS, "use_cache": False},
+        rounds=1, iterations=1)
     bars = ascii_bars(
         {f"{k} GPU": v for k, v in series["GPU"].items()}
         | {f"{k} CPU": v for k, v in series["CPU"].items()},

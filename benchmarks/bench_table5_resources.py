@@ -7,7 +7,7 @@ the resource-allocation pass itself.
 
 import pytest
 
-from benchmarks.conftest import TINY
+from benchmarks.conftest import JOBS, TINY
 from repro.capstan import estimate_resources
 from repro.core import compile_stmt
 from repro.data import datasets_for, load
@@ -30,7 +30,9 @@ def test_estimate_resources(benchmark, name):
 
 def test_report_table5(benchmark, report):
     """Regenerate and print Table 5 (measured vs paper)."""
-    results = benchmark.pedantic(table5, args=(TINY,), rounds=1, iterations=1)
+    results = benchmark.pedantic(
+        table5, args=(TINY,), kwargs={"jobs": JOBS, "use_cache": False},
+        rounds=1, iterations=1)
     report("Table 5 (E2)", format_table5(results))
     # Qualitative shape checks against the paper's table.
     assert results["Plus2"].pcu == min(r.pcu for r in results.values())

@@ -7,13 +7,15 @@ geomeaned across each kernel's Table 4 datasets.
 
 Per-kernel benchmarks time the full evaluation pipeline (dataset load,
 compile, statistics, all platform models) on the kernel's first dataset.
+The table regeneration fans out through ``repro.pipeline`` (REPRO_JOBS
+workers); measured calls bypass the cache so timings reflect real work.
 """
 
 from statistics import geometric_mean
 
 import pytest
 
-from benchmarks.conftest import SCALE
+from benchmarks.conftest import JOBS, SCALE
 from repro.data import datasets_for
 from repro.eval.harness import evaluate, format_table6, table6
 from repro.kernels import KERNEL_ORDER
@@ -24,7 +26,8 @@ def test_evaluate_kernel(benchmark, name):
     """Benchmark: one kernel's full cross-platform evaluation."""
     dataset = datasets_for(name)[0].name
     times = benchmark.pedantic(
-        evaluate, args=(name, dataset, SCALE), rounds=1, iterations=1
+        evaluate, args=(name, dataset, SCALE),
+        kwargs={"use_cache": False}, rounds=1, iterations=1
     )
     norm = times.normalised()
     assert norm["Capstan (HBM2E)"] == 1.0
@@ -34,7 +37,9 @@ def test_evaluate_kernel(benchmark, name):
 
 def test_report_table6(benchmark, report):
     """Regenerate and print Table 6; assert the paper's headline shape."""
-    results = benchmark.pedantic(table6, args=(SCALE,), rounds=1, iterations=1)
+    results = benchmark.pedantic(
+        table6, args=(SCALE,), kwargs={"jobs": JOBS, "use_cache": False},
+        rounds=1, iterations=1)
     report(f"Table 6 (E3/E7), scale={SCALE}", format_table6(results))
 
     cpu = results["128-Thread CPU"]

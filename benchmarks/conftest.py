@@ -4,6 +4,12 @@ Dataset sizing: benchmarks default to REPRO_SCALE=0.25 (dimensions scaled
 to a quarter, densities preserved) so the whole suite regenerates every
 table and figure in a few minutes. Run with REPRO_SCALE=1.0 for the exact
 Table 4 configurations (what EXPERIMENTS.md records).
+
+Parallelism: the artefact regenerations fan out through
+``repro.pipeline``; set REPRO_JOBS=N to spread the (kernel, dataset)
+jobs over N workers. Measured calls bypass the compilation cache so the
+recorded timings reflect real compilation/simulation work (see
+``bench_cache.py`` for the cache-effectiveness benchmark).
 """
 
 from __future__ import annotations
@@ -14,6 +20,23 @@ import pytest
 
 #: Dataset scale for the runtime benches.
 SCALE = float(os.environ.get("REPRO_SCALE", "0.25"))
+
+#: Worker count for pipeline fan-out in the artefact benches.
+JOBS = max(1, int(os.environ.get("REPRO_JOBS", "1")))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_cache_dir(tmp_path_factory):
+    """Hermetic benchmark runs: never read or pollute ~/.cache/repro.
+
+    A warm disk store from a previous session would turn "cold" numbers
+    into cache replays; a private per-session directory keeps every
+    benchmark's first call genuinely cold.
+    """
+    if "REPRO_CACHE_DIR" not in os.environ:
+        os.environ["REPRO_CACHE_DIR"] = str(
+            tmp_path_factory.mktemp("repro-cache")
+        )
 
 #: Tiny scale for structural artefacts (LoC, resources) that do not depend
 #: on dataset size.

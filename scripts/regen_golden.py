@@ -1,0 +1,57 @@
+"""Regenerate the golden-file snapshots under tests/golden/.
+
+The golden tests (tests/test_golden_code.py) diff the emitted Spatial and
+CPU C code for the reference kernels against these files, so any change
+to the lowering, memory analysis, or code generators shows up as a
+readable diff. After an *intentional* code-generation change, rerun this
+script and commit the updated files; CI's golden-drift job runs it too
+and fails if the checked-in files do not match what the compiler emits.
+
+Usage:  python scripts/regen_golden.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO))
+
+from repro.backends import lower_cpu
+from repro.core import compile_stmt
+from tests.helpers_kernels import build_small_kernel_stmt
+
+GOLDEN = REPO / "tests" / "golden"
+
+#: Kernels with Spatial golden snapshots.
+SPATIAL_KERNELS = ("SpMV", "SDDMM", "Plus3")
+
+
+def regenerate() -> list[Path]:
+    """Write all golden files; return the paths written."""
+    GOLDEN.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name in SPATIAL_KERNELS:
+        stmt, _, _ = build_small_kernel_stmt(name)
+        # Bypass the cache: goldens must reflect the compiler as it is.
+        source = compile_stmt(stmt, name.lower(), cache=False).source
+        path = GOLDEN / f"{name.lower()}.spatial"
+        path.write_text(source)
+        written.append(path)
+    stmt, _, _ = build_small_kernel_stmt("SpMV")
+    path = GOLDEN / "spmv.c"
+    path.write_text(lower_cpu(stmt, "spmv"))
+    written.append(path)
+    return written
+
+
+def main() -> int:
+    for path in regenerate():
+        print(f"wrote {path.relative_to(REPO)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,13 @@ from repro.formats import (
     onChip,
 )
 from repro.ir import IndexVar, index_vars
+from repro.pipeline import (
+    CompilationCache,
+    Job,
+    JobResult,
+    default_cache,
+    run_jobs,
+)
 from repro.schedule import INNER_PAR, OUTER_PAR, REDUCTION, SPATIAL, IndexStmt
 from repro.tensor import Tensor, evaluate_dense, scalar, to_dense, vector
 
@@ -44,6 +51,7 @@ __all__ = [
     "CSR",
     "CapstanConfig",
     "CapstanSimulator",
+    "CompilationCache",
     "CompiledKernel",
     "DDR4",
     "DENSE_MATRIX",
@@ -55,6 +63,8 @@ __all__ = [
     "INNER_PAR",
     "IndexStmt",
     "IndexVar",
+    "Job",
+    "JobResult",
     "MemoryRegion",
     "MemoryType",
     "OUTER_PAR",
@@ -67,12 +77,14 @@ __all__ = [
     "compile_tensor",
     "compressed",
     "compute_stats",
+    "default_cache",
     "dense",
     "estimate_resources",
     "evaluate_dense",
     "index_vars",
     "offChip",
     "onChip",
+    "run_jobs",
     "scalar",
     "to_dense",
     "vector",

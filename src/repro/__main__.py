@@ -6,13 +6,23 @@ Subcommands:
   generated Spatial, the memory analysis, and (optionally) CPU C code.
 * ``simulate`` — predict runtime across platforms for a kernel+dataset.
 * ``kernels``  — list the evaluation kernels and their datasets.
-* ``tables``   — regenerate a table or figure of the paper.
+* ``tables``   — regenerate a table or figure of the paper
+  (``--jobs N`` fans the work out; ``--no-cache`` recomputes from
+  scratch).
+* ``batch``    — regenerate several artefacts as one parallel job batch,
+  with per-job failure isolation and a cache/throughput summary.
+* ``cache``    — inspect or clear the on-disk compilation cache.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+
+def _use_cache(args) -> bool | None:
+    """``--no-cache`` → False; otherwise defer to the environment."""
+    return False if getattr(args, "no_cache", False) else None
 
 
 def _cmd_kernels(_args) -> int:
@@ -47,7 +57,8 @@ def _cmd_compile(args) -> int:
 def _cmd_simulate(args) -> int:
     from repro.eval.harness import evaluate
 
-    times = evaluate(args.kernel, args.dataset, args.scale)
+    times = evaluate(args.kernel, args.dataset, args.scale,
+                     use_cache=_use_cache(args))
     base = times.seconds["Capstan (HBM2E)"]
     print(f"{args.kernel} on {args.dataset} (scale {args.scale}):")
     for platform, seconds in times.seconds.items():
@@ -60,17 +71,93 @@ def _cmd_tables(args) -> int:
     from repro.eval import harness
 
     artefact = args.artifact
+    use_cache = _use_cache(args)
     if artefact == "table3":
-        print(harness.format_table3(harness.table3()))
+        print(harness.format_table3(
+            harness.table3(jobs=args.jobs, use_cache=use_cache)))
     elif artefact == "table5":
-        print(harness.format_table5(harness.table5()))
+        print(harness.format_table5(
+            harness.table5(jobs=args.jobs, use_cache=use_cache)))
     elif artefact == "table6":
-        print(harness.format_table6(harness.table6(args.scale)))
+        print(harness.format_table6(
+            harness.table6(args.scale, jobs=args.jobs, use_cache=use_cache)))
     elif artefact == "figure12":
-        print(harness.format_figure12(harness.figure12(args.scale)))
+        print(harness.format_figure12(
+            harness.figure12(args.scale, jobs=args.jobs,
+                             use_cache=use_cache)))
     else:  # pragma: no cover - argparse restricts choices
         return 2
     return 0
+
+
+def _cmd_batch(args) -> int:
+    from repro.pipeline.batch import ARTIFACT_NAMES, artifact_jobs, run_batch
+    from repro.pipeline.cache import default_cache
+
+    artifacts = list(args.artifacts)
+    if "all" in artifacts:
+        artifacts = list(ARTIFACT_NAMES)
+    use_cache = _use_cache(args)
+
+    if args.list:
+        for artifact in artifacts:
+            for job in artifact_jobs(artifact, args.scale, use_cache):
+                print(f"{artifact:10s}  {job}")
+        return 0
+
+    run = run_batch(artifacts, args.scale, jobs=args.jobs,
+                    use_cache=use_cache,
+                    kind="process" if args.processes else "thread")
+    bar = "=" * 78
+    for artifact in artifacts:
+        if artifact in run.texts:
+            print(f"{bar}\n{run.texts[artifact]}\n{bar}")
+    for failure in run.failures:
+        print(f"FAILED {failure.job}:\n{failure.error}", file=sys.stderr)
+    if args.processes:
+        # Worker processes own their caches; the parent's counters would
+        # always read zero.
+        cache_note = "cache: n/a with --processes"
+    else:
+        stats = default_cache().stats
+        cache_note = f"cache: {stats.hits} hits / {stats.misses} misses"
+    print(f"{run.summary()} ({cache_note})")
+    return 1 if run.failures else 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.pipeline.cache import compiler_version, default_cache
+
+    cache = default_cache()
+    info = cache.disk_info()
+    if args.action == "info":
+        where = info["dir"] or "(disk store disabled)"
+        print(f"cache dir:        {where}")
+        print(f"compiler version: {compiler_version()}")
+        print(f"entries:          {info['entries']}")
+        print(f"size:             {info['bytes'] / 1024:.1f} KiB")
+        return 0
+    if args.action == "clear":
+        import re
+        import shutil
+        from pathlib import Path
+
+        cache.clear_memory()
+        if info["dir"]:
+            # Remove only the cache's own per-compiler-version trees, in
+            # case REPRO_CACHE_DIR points at a directory holding other
+            # content too.
+            base = Path(info["dir"])
+            if base.exists():
+                for child in base.iterdir():
+                    if child.is_dir() and re.fullmatch(r"[0-9a-f]{16}",
+                                                       child.name):
+                        shutil.rmtree(child, ignore_errors=True)
+            print(f"cleared {info['entries']} entries from {info['dir']}")
+        else:
+            print("disk store disabled; cleared in-memory cache only")
+        return 0
+    return 2  # pragma: no cover - argparse restricts choices
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -95,11 +182,36 @@ def main(argv: list[str] | None = None) -> int:
     p_sim.add_argument("kernel")
     p_sim.add_argument("--dataset", default=None)
     p_sim.add_argument("--scale", type=float, default=0.25)
+    p_sim.add_argument("--no-cache", action="store_true",
+                       help="bypass the compilation/result cache")
 
     p_tab = sub.add_parser("tables", help="regenerate a table/figure")
     p_tab.add_argument("artifact",
                        choices=["table3", "table5", "table6", "figure12"])
     p_tab.add_argument("--scale", type=float, default=0.25)
+    p_tab.add_argument("--jobs", type=int, default=None,
+                       help="parallel worker count (default: REPRO_JOBS or 1)")
+    p_tab.add_argument("--no-cache", action="store_true",
+                       help="bypass the compilation/result cache")
+
+    p_batch = sub.add_parser(
+        "batch", help="regenerate several artefacts as one parallel batch")
+    p_batch.add_argument(
+        "artifacts", nargs="+",
+        choices=["table3", "table5", "table6", "figure12", "all"])
+    p_batch.add_argument("--scale", type=float, default=0.25)
+    p_batch.add_argument("--jobs", type=int, default=None,
+                         help="parallel worker count (default: REPRO_JOBS or 1)")
+    p_batch.add_argument("--no-cache", action="store_true",
+                         help="bypass the compilation/result cache")
+    p_batch.add_argument("--processes", action="store_true",
+                         help="use a process pool instead of threads")
+    p_batch.add_argument("--list", action="store_true",
+                         help="print the (kernel, dataset, platform) job "
+                              "list without running it")
+
+    p_cache = sub.add_parser("cache", help="inspect or clear the cache")
+    p_cache.add_argument("action", choices=["info", "clear"])
 
     args = parser.parse_args(argv)
 
@@ -113,6 +225,8 @@ def main(argv: list[str] | None = None) -> int:
         "compile": _cmd_compile,
         "simulate": _cmd_simulate,
         "tables": _cmd_tables,
+        "batch": _cmd_batch,
+        "cache": _cmd_cache,
     }
     return handlers[args.command](args)
 

@@ -73,8 +73,8 @@ class CompiledKernel:
         return self.plan.report()
 
 
-def compile_stmt(stmt: IndexStmt, name: str = "kernel") -> CompiledKernel:
-    """Compile a scheduled statement to a Spatial kernel."""
+def _compile(stmt: IndexStmt, name: str) -> CompiledKernel:
+    """The uncached compilation pipeline (analysis → plan → lowering)."""
     lowerer = Lowerer(stmt, name)
     program = lowerer.lower()
     return CompiledKernel(
@@ -83,6 +83,39 @@ def compile_stmt(stmt: IndexStmt, name: str = "kernel") -> CompiledKernel:
         program=program,
         analysis=lowerer.analysis,
         plan=lowerer.plan,
+    )
+
+
+def compile_stmt(
+    stmt: IndexStmt,
+    name: str = "kernel",
+    *,
+    cache: bool | None = None,
+) -> CompiledKernel:
+    """Compile a scheduled statement to a Spatial kernel.
+
+    Compilation is memoized through :mod:`repro.pipeline.cache`, keyed by
+    a content hash of the statement, its tensor formats and data, the
+    schedule, and the compiler version — so repeated harness runs and CLI
+    invocations reuse prior results (including across processes via the
+    on-disk store).
+
+    Args:
+        stmt: the scheduled statement.
+        name: kernel name (appears in generated code, so it is part of
+            the cache key).
+        cache: ``None`` uses the process default (honouring the
+            ``REPRO_NO_CACHE`` environment knob); ``False`` bypasses the
+            cache; ``True`` forces it on.
+    """
+    from repro.pipeline import cache as cache_mod
+
+    use_cache = cache_mod.cache_enabled() if cache is None else bool(cache)
+    if not use_cache:
+        return _compile(stmt, name)
+    key = cache_mod.fingerprint_stmt(stmt, name)
+    return cache_mod.default_cache().get_or_compute(
+        key, lambda: _compile(stmt, name)
     )
 
 

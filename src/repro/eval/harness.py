@@ -3,16 +3,22 @@
 Each ``table*``/``figure*`` function returns plain data structures (and a
 formatted text rendering) so the pytest benchmarks can both print the
 artefact and assert its qualitative shape against the paper.
+
+All artefacts route through :mod:`repro.pipeline`: the per-combination
+work is expressed as (kernel, dataset, platform) jobs that fan out over a
+worker pool (``jobs=N``) and memoize through the content-addressed
+compilation cache (disable with ``use_cache=False`` or the
+``REPRO_NO_CACHE`` environment variable). Parallel runs assemble results
+in deterministic job order, so they are byte-identical to serial runs.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import math
 import os
 from statistics import geometric_mean
 
-from repro.backends.cpu import CpuBackend, lower_cpu
+from repro.backends.cpu import CpuBackend
 from repro.backends.gpu import GpuBackend
 from repro.backends.handwritten import (
     HandwrittenCapstanSpMV,
@@ -27,6 +33,7 @@ from repro.core.compiler import CompiledKernel, compile_stmt
 from repro.data.datasets import datasets_for, load
 from repro.eval import paper_results
 from repro.kernels.suite import KERNEL_ORDER, KERNELS
+from repro.pipeline.cache import memoize
 
 #: Default dataset scale; override with REPRO_SCALE (1.0 = full Table 4).
 DEFAULT_SCALE = float(os.environ.get("REPRO_SCALE", "0.25"))
@@ -39,14 +46,39 @@ PLATFORMS = (
     "128-Thread CPU",
 )
 
+#: The normalisation baseline of Table 6 / Figure 13.
+BASELINE_PLATFORM = "Capstan (HBM2E)"
+
+
+def first_dataset(kernel_name: str) -> str:
+    """The kernel's first Table 4 dataset (used for structural artefacts)."""
+    return datasets_for(kernel_name)[0].name
+
 
 def build_kernel(kernel_name: str, dataset_name: str, scale: float,
-                 seed: int = 7) -> CompiledKernel:
+                 seed: int = 7, use_cache: bool | None = None) -> CompiledKernel:
     """Load a dataset and compile the kernel on it."""
     spec = KERNELS[kernel_name]
     tensors = load(kernel_name, dataset_name, scale=scale, seed=seed)
     stmt, _out = spec.build(tensors)
-    return compile_stmt(stmt, kernel_name)
+    return compile_stmt(stmt, kernel_name, cache=use_cache)
+
+
+def build_kernel_cached(kernel_name: str, dataset_name: str, scale: float,
+                        seed: int = 7,
+                        use_cache: bool | None = None) -> CompiledKernel:
+    """:func:`build_kernel`, memoizing dataset generation + compilation.
+
+    On a warm cache this skips the synthetic dataset generators entirely
+    (they dominate the cold build time), keyed by the evaluation
+    coordinates and the compiler version.
+    """
+    return memoize(
+        "build", (kernel_name, dataset_name, scale, seed),
+        lambda: build_kernel(kernel_name, dataset_name, scale, seed,
+                             use_cache=use_cache),
+        use_cache,
+    )
 
 
 @dataclasses.dataclass
@@ -58,35 +90,73 @@ class PlatformTimes:
     seconds: dict[str, float]
 
     def normalised(self) -> dict[str, float]:
-        base = self.seconds["Capstan (HBM2E)"]
+        base = self.seconds[BASELINE_PLATFORM]
         return {p: s / base for p, s in self.seconds.items()}
 
 
-def evaluate(kernel_name: str, dataset_name: str,
-             scale: float = DEFAULT_SCALE) -> PlatformTimes:
-    """Predict runtimes on every platform for one kernel+dataset."""
-    kernel = build_kernel(kernel_name, dataset_name, scale)
-    stats = compute_stats(kernel)
-    sim = CapstanSimulator()
-    resources = estimate_resources(kernel)
-    seconds = {
-        "Capstan (Ideal)": sim.simulate(kernel, dram=IDEAL, stats=stats,
-                                        resources=resources).seconds,
-        "Capstan (HBM2E)": sim.simulate(kernel, dram=HBM2E, stats=stats,
-                                        resources=resources).seconds,
-        "Capstan (DDR4)": sim.simulate(kernel, dram=DDR4, stats=stats,
-                                       resources=resources).seconds,
-        "V100 GPU": GpuBackend().predict_seconds(kernel, stats),
-        "128-Thread CPU": CpuBackend().predict_seconds(kernel, stats),
+def _platform_models(kernel: CompiledKernel, stats, sim: CapstanSimulator,
+                     resources) -> dict[str, object]:
+    """Per-platform runtime predictors (lazily evaluated thunks)."""
+    models = {
+        "Capstan (Ideal)": lambda: sim.simulate(
+            kernel, dram=IDEAL, stats=stats, resources=resources).seconds,
+        "Capstan (HBM2E)": lambda: sim.simulate(
+            kernel, dram=HBM2E, stats=stats, resources=resources).seconds,
+        "Capstan (DDR4)": lambda: sim.simulate(
+            kernel, dram=DDR4, stats=stats, resources=resources).seconds,
+        "V100 GPU": lambda: GpuBackend().predict_seconds(kernel, stats),
+        "128-Thread CPU": lambda: CpuBackend().predict_seconds(kernel, stats),
     }
-    if kernel_name == "SpMV":
-        seconds["Capstan (HBM2E, handwritten)"] = (
-            HandwrittenCapstanSpMV().predict_seconds(stats, HBM2E)
+    if kernel.name == "SpMV":
+        models["Capstan (HBM2E, handwritten)"] = (
+            lambda: HandwrittenCapstanSpMV().predict_seconds(stats, HBM2E)
         )
-        seconds["Plasticine (HBM2E, handwritten)"] = (
-            HandwrittenPlasticineSpMV().predict_seconds(stats, HBM2E)
+        models["Plasticine (HBM2E, handwritten)"] = (
+            lambda: HandwrittenPlasticineSpMV().predict_seconds(stats, HBM2E)
         )
-    return PlatformTimes(kernel_name, dataset_name, seconds)
+    return models
+
+
+def evaluate(kernel_name: str, dataset_name: str,
+             scale: float = DEFAULT_SCALE,
+             platforms: tuple[str, ...] | None = None,
+             use_cache: bool | None = None) -> PlatformTimes:
+    """Predict runtimes on every platform for one kernel+dataset.
+
+    Args:
+        platforms: restrict prediction to these platform names (default:
+            all applicable platforms). Note :meth:`PlatformTimes.normalised`
+            needs the ``Capstan (HBM2E)`` baseline to be included.
+        use_cache: route the result through the pipeline cache (``None``
+            honours ``REPRO_NO_CACHE``).
+    """
+    wanted = tuple(platforms) if platforms is not None else None
+
+    def compute() -> PlatformTimes:
+        kernel = build_kernel_cached(kernel_name, dataset_name, scale,
+                                     use_cache=use_cache)
+        stats = compute_stats(kernel)
+        sim = CapstanSimulator()
+        resources = estimate_resources(kernel)
+        models = _platform_models(kernel, stats, sim, resources)
+        if wanted is not None:
+            unknown = [p for p in wanted if p not in models]
+            if unknown:
+                raise ValueError(
+                    f"unknown platform(s) {unknown} for {kernel_name}; "
+                    f"choose from {sorted(models)}"
+                )
+        seconds = {
+            name: model()
+            for name, model in models.items()
+            if wanted is None or name in wanted
+        }
+        return PlatformTimes(kernel_name, dataset_name, seconds)
+
+    return memoize(
+        "evaluate", (kernel_name, dataset_name, scale, 7, wanted),
+        compute, use_cache,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -94,20 +164,12 @@ def evaluate(kernel_name: str, dataset_name: str,
 # ---------------------------------------------------------------------------
 
 
-def table6(scale: float = DEFAULT_SCALE) -> dict[str, dict[str, float]]:
+def table6(scale: float = DEFAULT_SCALE, jobs: int | None = None,
+           use_cache: bool | None = None) -> dict[str, dict[str, float]]:
     """Normalised geomean runtimes per platform per kernel (Table 6)."""
-    per_platform: dict[str, dict[str, float]] = {}
-    for kernel_name in KERNEL_ORDER:
-        ratios: dict[str, list[float]] = {}
-        for dspec in datasets_for(kernel_name):
-            times = evaluate(kernel_name, dspec.name, scale)
-            for platform, value in times.normalised().items():
-                ratios.setdefault(platform, []).append(value)
-        for platform, values in ratios.items():
-            per_platform.setdefault(platform, {})[kernel_name] = (
-                geometric_mean(values)
-            )
-    return per_platform
+    from repro.pipeline.batch import run_artifact
+
+    return run_artifact("table6", scale, jobs=jobs, use_cache=use_cache)
 
 
 def format_table6(results: dict[str, dict[str, float]]) -> str:
@@ -145,9 +207,10 @@ def format_table6(results: dict[str, dict[str, float]]) -> str:
     return "\n".join(lines)
 
 
-def figure13(scale: float = DEFAULT_SCALE) -> dict[str, dict[str, float]]:
+def figure13(scale: float = DEFAULT_SCALE, jobs: int | None = None,
+             use_cache: bool | None = None) -> dict[str, dict[str, float]]:
     """Figure 13 series: Capstan/GPU/CPU normalised runtimes per kernel."""
-    full = table6(scale)
+    full = table6(scale, jobs=jobs, use_cache=use_cache)
     return {
         "Capstan": full["Capstan (HBM2E)"],
         "GPU": full["V100 GPU"],
@@ -160,18 +223,16 @@ def figure13(scale: float = DEFAULT_SCALE) -> dict[str, dict[str, float]]:
 # ---------------------------------------------------------------------------
 
 
-def table5(scale: float = 0.05) -> dict[str, ResourceEstimate]:
+def table5(scale: float = 0.05, jobs: int | None = None,
+           use_cache: bool | None = None) -> dict[str, ResourceEstimate]:
     """Resource estimates per kernel (Table 5).
 
     Resources are structural (dataset-independent), so a tiny dataset
     suffices to build each kernel.
     """
-    out = {}
-    for kernel_name in KERNEL_ORDER:
-        dataset = datasets_for(kernel_name)[0]
-        kernel = build_kernel(kernel_name, dataset.name, scale)
-        out[kernel_name] = estimate_resources(kernel)
-    return out
+    from repro.pipeline.batch import run_artifact
+
+    return run_artifact("table5", scale, jobs=jobs, use_cache=use_cache)
 
 
 def format_table5(results: dict[str, ResourceEstimate]) -> str:
@@ -197,21 +258,12 @@ def format_table5(results: dict[str, ResourceEstimate]) -> str:
 # ---------------------------------------------------------------------------
 
 
-def table3(scale: float = 0.05) -> dict[str, dict[str, int]]:
+def table3(scale: float = 0.05, jobs: int | None = None,
+           use_cache: bool | None = None) -> dict[str, dict[str, int]]:
     """Lines-of-code comparison per kernel (Table 3)."""
-    rows = {}
-    for kernel_name in KERNEL_ORDER:
-        spec = KERNELS[kernel_name]
-        dataset = datasets_for(kernel_name)[0]
-        kernel = build_kernel(kernel_name, dataset.name, scale)
-        paper_in, paper_sp = paper_results.TABLE3_LOC[kernel_name]
-        rows[kernel_name] = {
-            "input_loc": spec.input_loc(),
-            "spatial_loc": kernel.spatial_loc,
-            "paper_input_loc": paper_in,
-            "paper_spatial_loc": paper_sp,
-        }
-    return rows
+    from repro.pipeline.batch import run_artifact
+
+    return run_artifact("table3", scale, jobs=jobs, use_cache=use_cache)
 
 
 def format_table3(rows: dict[str, dict[str, int]]) -> str:
@@ -239,22 +291,12 @@ def format_table3(rows: dict[str, dict[str, int]]) -> str:
 # ---------------------------------------------------------------------------
 
 
-def figure12(scale: float = DEFAULT_SCALE) -> dict[str, dict[float, float]]:
+def figure12(scale: float = DEFAULT_SCALE, jobs: int | None = None,
+             use_cache: bool | None = None) -> dict[str, dict[float, float]]:
     """DRAM bandwidth sensitivity: speedup over the 20 GB/s point."""
-    sim = CapstanSimulator()
-    series: dict[str, dict[float, float]] = {}
-    for kernel_name in KERNEL_ORDER:
-        dataset = datasets_for(kernel_name)[0]
-        kernel = build_kernel(kernel_name, dataset.name, scale)
-        stats = compute_stats(kernel)
-        sweep = sim.sweep_bandwidth(
-            kernel, None, paper_results.FIG12_BANDWIDTHS, stats
-        )
-        base = sweep[paper_results.FIG12_BANDWIDTHS[0]].seconds
-        series[kernel_name] = {
-            bw: base / res.seconds for bw, res in sweep.items()
-        }
-    return series
+    from repro.pipeline.batch import run_artifact
+
+    return run_artifact("figure12", scale, jobs=jobs, use_cache=use_cache)
 
 
 def format_figure12(series: dict[str, dict[float, float]]) -> str:

@@ -1,0 +1,57 @@
+"""The ``repro.pipeline`` subsystem: caching + parallel evaluation.
+
+Two orthogonal pieces that the compiler facade, evaluation harness, CLI,
+and benchmark drivers all route through:
+
+* :mod:`repro.pipeline.cache` — a content-addressed compilation cache
+  (in-memory LRU + optional on-disk store under ``~/.cache/repro``) keyed
+  by a stable hash of the index statement, tensor formats, schedule, and
+  compiler version.
+* :mod:`repro.pipeline.executor` — a batch executor that fans
+  (kernel, dataset, platform) jobs out over ``concurrent.futures``
+  workers with deterministic result ordering and per-job failure
+  isolation.
+* :mod:`repro.pipeline.batch` — each paper artefact (Tables 3/5/6,
+  Figure 12) expressed as an explicit job list.
+"""
+
+from repro.pipeline.cache import (
+    CacheStats,
+    CompilationCache,
+    cache_enabled,
+    compiler_version,
+    default_cache,
+    disk_cache_dir,
+    fingerprint_stmt,
+    fingerprint_tensor,
+    make_key,
+)
+from repro.pipeline.executor import Job, JobResult, default_jobs, run_jobs
+from repro.pipeline.batch import (
+    ARTIFACT_NAMES,
+    BatchRun,
+    artifact_jobs,
+    run_artifact,
+    run_batch,
+)
+
+__all__ = [
+    "ARTIFACT_NAMES",
+    "BatchRun",
+    "CacheStats",
+    "CompilationCache",
+    "Job",
+    "JobResult",
+    "artifact_jobs",
+    "cache_enabled",
+    "compiler_version",
+    "default_cache",
+    "default_jobs",
+    "disk_cache_dir",
+    "fingerprint_stmt",
+    "fingerprint_tensor",
+    "make_key",
+    "run_artifact",
+    "run_batch",
+    "run_jobs",
+]

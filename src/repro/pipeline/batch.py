@@ -1,0 +1,268 @@
+"""Tables and figures as explicit (kernel, dataset, platform) job lists.
+
+The evaluation harness regenerates every artefact of Section 8 by fanning
+out over independent combinations. This module makes that fan-out a
+first-class object: :func:`artifact_jobs` returns the job list for one
+artefact, :func:`run_artifact` executes it (serially or over a worker
+pool) and folds the per-job results into exactly the data structure the
+harness's serial loops produce — deterministic ordering guarantees the
+two are byte-identical. ``python -m repro batch`` drives this directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from statistics import geometric_mean
+from typing import Any
+
+from repro.pipeline.cache import memoize
+from repro.pipeline.executor import Job, JobResult, run_jobs
+
+__all__ = [
+    "ARTIFACT_NAMES",
+    "BatchRun",
+    "artifact_jobs",
+    "run_artifact",
+    "run_batch",
+]
+
+#: Artefacts the batch runner can regenerate.
+ARTIFACT_NAMES = ("table3", "table5", "table6", "figure12")
+
+
+# ---------------------------------------------------------------------------
+# Per-cell job functions (top-level, so process pools can pickle them)
+# ---------------------------------------------------------------------------
+
+
+def evaluate_cell(kernel_name: str, dataset_name: str, scale: float,
+                  use_cache: bool | None = None):
+    """One Table 6 cell: all-platform times for one kernel+dataset."""
+    from repro.eval import harness
+
+    return harness.evaluate(kernel_name, dataset_name, scale,
+                            use_cache=use_cache)
+
+
+def table5_cell(kernel_name: str, scale: float,
+                use_cache: bool | None = None):
+    """One Table 5 row: the resource estimate for one compiled kernel."""
+    from repro.capstan.resources import estimate_resources
+    from repro.eval import harness
+
+    def compute():
+        kernel = harness.build_kernel_cached(
+            kernel_name, harness.first_dataset(kernel_name), scale,
+            use_cache=use_cache,
+        )
+        return estimate_resources(kernel)
+
+    return memoize("table5", (kernel_name, scale), compute, use_cache)
+
+
+def table3_cell(kernel_name: str, scale: float,
+                use_cache: bool | None = None):
+    """One Table 3 row: input vs generated lines of code."""
+    from repro.eval import harness
+    from repro.eval import paper_results
+    from repro.kernels.suite import KERNELS
+
+    def compute():
+        spec = KERNELS[kernel_name]
+        kernel = harness.build_kernel_cached(
+            kernel_name, harness.first_dataset(kernel_name), scale,
+            use_cache=use_cache,
+        )
+        paper_in, paper_sp = paper_results.TABLE3_LOC[kernel_name]
+        return {
+            "input_loc": spec.input_loc(),
+            "spatial_loc": kernel.spatial_loc,
+            "paper_input_loc": paper_in,
+            "paper_spatial_loc": paper_sp,
+        }
+
+    return memoize("table3", (kernel_name, scale), compute, use_cache)
+
+
+def figure12_cell(kernel_name: str, scale: float,
+                  use_cache: bool | None = None):
+    """One Figure 12 series: the bandwidth sweep for one kernel."""
+    from repro.capstan.simulator import CapstanSimulator
+    from repro.capstan.stats import compute_stats
+    from repro.eval import harness
+    from repro.eval.paper_results import FIG12_BANDWIDTHS
+
+    def compute():
+        kernel = harness.build_kernel_cached(
+            kernel_name, harness.first_dataset(kernel_name), scale,
+            use_cache=use_cache,
+        )
+        stats = compute_stats(kernel)
+        sweep = CapstanSimulator().sweep_bandwidth(
+            kernel, None, FIG12_BANDWIDTHS, stats
+        )
+        base = sweep[FIG12_BANDWIDTHS[0]].seconds
+        return {bw: base / res.seconds for bw, res in sweep.items()}
+
+    return memoize("figure12", (kernel_name, scale), compute, use_cache)
+
+
+# ---------------------------------------------------------------------------
+# Job lists
+# ---------------------------------------------------------------------------
+
+
+def artifact_jobs(artifact: str, scale: float,
+                  use_cache: bool | None = None) -> list[Job]:
+    """The (kernel, dataset, platform) job list for one artefact."""
+    from repro.data.datasets import datasets_for
+    from repro.kernels.suite import KERNEL_ORDER
+
+    kwargs = {"use_cache": use_cache}
+    if artifact == "table6":
+        return [
+            Job((kernel, dspec.name, "*"), evaluate_cell,
+                (kernel, dspec.name, scale), dict(kwargs))
+            for kernel in KERNEL_ORDER
+            for dspec in datasets_for(kernel)
+        ]
+    if artifact == "table5":
+        return [Job((kernel, "-", "capstan-resources"), table5_cell,
+                    (kernel, scale), dict(kwargs))
+                for kernel in KERNEL_ORDER]
+    if artifact == "table3":
+        return [Job((kernel, "-", "loc"), table3_cell,
+                    (kernel, scale), dict(kwargs))
+                for kernel in KERNEL_ORDER]
+    if artifact == "figure12":
+        return [Job((kernel, "-", "bandwidth-sweep"), figure12_cell,
+                    (kernel, scale), dict(kwargs))
+                for kernel in KERNEL_ORDER]
+    raise KeyError(
+        f"unknown artefact {artifact!r}; choose from {ARTIFACT_NAMES}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Assembly: fold ordered job results into the harness data structures
+# ---------------------------------------------------------------------------
+
+
+def _assemble_table6(results: list[JobResult]) -> dict[str, dict[str, float]]:
+    from repro.kernels.suite import KERNEL_ORDER
+
+    ratios_by_kernel: dict[str, dict[str, list[float]]] = {}
+    for res in results:
+        times = res.unwrap()
+        ratios = ratios_by_kernel.setdefault(times.kernel, {})
+        for platform, value in times.normalised().items():
+            ratios.setdefault(platform, []).append(value)
+    per_platform: dict[str, dict[str, float]] = {}
+    for kernel in KERNEL_ORDER:
+        for platform, values in ratios_by_kernel.get(kernel, {}).items():
+            per_platform.setdefault(platform, {})[kernel] = (
+                geometric_mean(values)
+            )
+    return per_platform
+
+
+def _assemble_by_kernel(results: list[JobResult]) -> dict[str, Any]:
+    return {res.job.key[0]: res.unwrap() for res in results}
+
+
+def assemble_artifact(artifact: str, results: list[JobResult]):
+    """Fold ordered job results into the artefact's data structure."""
+    if artifact == "table6":
+        return _assemble_table6(results)
+    return _assemble_by_kernel(results)
+
+
+def format_artifact(artifact: str, data) -> str:
+    """Render an artefact with the harness's formatter."""
+    from repro.eval import harness
+
+    formatter = {
+        "table3": harness.format_table3,
+        "table5": harness.format_table5,
+        "table6": harness.format_table6,
+        "figure12": harness.format_figure12,
+    }[artifact]
+    return formatter(data)
+
+
+# ---------------------------------------------------------------------------
+# Runners
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class BatchRun:
+    """Outcome of one batch invocation (artefacts + execution report)."""
+
+    artifacts: dict[str, Any]
+    texts: dict[str, str]
+    results: dict[str, list[JobResult]]
+    seconds: float
+
+    @property
+    def jobs(self) -> int:
+        return sum(len(r) for r in self.results.values())
+
+    @property
+    def failures(self) -> list[JobResult]:
+        return [res for rs in self.results.values() for res in rs if not res.ok]
+
+    def summary(self) -> str:
+        failed = len(self.failures)
+        status = "ok" if not failed else f"{failed} FAILED"
+        return (f"batch: {self.jobs} jobs across "
+                f"{len(self.results)} artefact(s) in {self.seconds:.2f}s "
+                f"[{status}]")
+
+
+def run_artifact(
+    artifact: str,
+    scale: float,
+    jobs: int | None = None,
+    use_cache: bool | None = None,
+    kind: str = "thread",
+):
+    """Regenerate one artefact through the pipeline.
+
+    Returns the same data structure the harness's serial loop produces.
+    Raises ``RuntimeError`` (with the captured traceback) if any job
+    failed.
+    """
+    results = run_jobs(artifact_jobs(artifact, scale, use_cache),
+                       max_workers=jobs, kind=kind)
+    return assemble_artifact(artifact, results)
+
+
+def run_batch(
+    artifacts: list[str],
+    scale: float,
+    jobs: int | None = None,
+    use_cache: bool | None = None,
+    kind: str = "thread",
+) -> BatchRun:
+    """Regenerate several artefacts, isolating failures per job.
+
+    Artefacts whose jobs all succeeded are assembled and formatted;
+    artefacts with failed jobs are reported in :attr:`BatchRun.failures`
+    and omitted from :attr:`BatchRun.artifacts`.
+    """
+    start = time.perf_counter()
+    all_results: dict[str, list[JobResult]] = {}
+    assembled: dict[str, Any] = {}
+    texts: dict[str, str] = {}
+    for artifact in artifacts:
+        results = run_jobs(artifact_jobs(artifact, scale, use_cache),
+                           max_workers=jobs, kind=kind)
+        all_results[artifact] = results
+        if all(res.ok for res in results):
+            data = assemble_artifact(artifact, results)
+            assembled[artifact] = data
+            texts[artifact] = format_artifact(artifact, data)
+    return BatchRun(assembled, texts, all_results,
+                    time.perf_counter() - start)

@@ -1,0 +1,431 @@
+"""Content-addressed compilation cache.
+
+Stardust's evaluation compiles and simulates the same (kernel, dataset,
+platform) combinations over and over; TACO-style compilers memoize lowered
+kernels per (expression, format) key for exactly this reason. This module
+provides that memoization for the whole pipeline:
+
+* :func:`fingerprint_stmt` derives a stable, content-addressed key from a
+  scheduled statement: the concrete index notation text, the environment
+  variables, and every referenced tensor's name, shape, format, memory
+  region, and packed-data hash. Two statements with the same key lower to
+  the same kernel bound to the same data.
+* :func:`compiler_version` hashes every source file of the ``repro``
+  package, so any code change invalidates prior cache entries — stale
+  results can never survive a compiler edit.
+* :class:`CompilationCache` layers an in-memory LRU over an optional
+  on-disk store (default ``~/.cache/repro``, overridable with the
+  ``REPRO_CACHE_DIR`` environment variable). Entries are pickled under
+  a per-compiler-version directory keyed by SHA-256, so the store is safe
+  to share between concurrent runs: writes are atomic renames and corrupt
+  or unreadable entries degrade to cache misses.
+
+Environment knobs (read dynamically, so tests can monkeypatch them):
+
+* ``REPRO_CACHE_DIR`` — on-disk store location (default ``~/.cache/repro``).
+* ``REPRO_NO_CACHE=1`` — disable all caching (equivalent to ``--no-cache``).
+* ``REPRO_CACHE_DISK=0`` — keep the in-memory LRU but skip the disk store.
+* ``REPRO_CACHE_MEM`` — in-memory LRU capacity (default 64 entries).
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import os
+import pickle
+import tempfile
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "CacheStats",
+    "CompilationCache",
+    "cache_enabled",
+    "compiler_version",
+    "default_cache",
+    "disk_cache_dir",
+    "fingerprint_stmt",
+    "fingerprint_tensor",
+    "make_key",
+    "memoize",
+]
+
+#: Default in-memory LRU capacity.
+DEFAULT_MEMORY_ENTRIES = 64
+
+#: Soft cap on on-disk entries per compiler version (pruned oldest-first).
+DEFAULT_MAX_DISK_ENTRIES = 10_000
+
+#: How often (in puts) the disk store checks the entry cap.
+_PRUNE_EVERY = 200
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints
+# ---------------------------------------------------------------------------
+
+
+def _sha256(*parts: bytes | str) -> str:
+    h = hashlib.sha256()
+    for part in parts:
+        if isinstance(part, str):
+            part = part.encode()
+        h.update(part)
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+@functools.lru_cache(maxsize=1)
+def compiler_version() -> str:
+    """A hash of every ``repro`` source file (cache-invalidation token)."""
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    h = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        h.update(str(path.relative_to(root)).encode())
+        h.update(path.read_bytes())
+    return h.hexdigest()[:16]
+
+
+def fingerprint_tensor(tensor: Any) -> str:
+    """``name|shape|format|data-hash`` for one operand tensor.
+
+    The data hash covers the packed level arrays and values, so mutating a
+    tensor's contents (or loading a different dataset into the same
+    formats) changes the compilation key. Tensors that hold no data yet
+    (e.g. outputs) hash as ``empty`` without forcing a pack.
+    """
+    has_data = tensor._storage is not None or bool(tensor._pending)
+    if not has_data:
+        data = "empty"
+    else:
+        storage = tensor.storage
+        h = hashlib.sha256()
+        for level in storage.levels:
+            h.update(type(level).__name__.encode())
+            for field in vars(level).values():
+                if hasattr(field, "tobytes"):
+                    h.update(field.tobytes())
+                else:
+                    h.update(repr(field).encode())
+        h.update(storage.vals.tobytes())
+        data = h.hexdigest()[:16]
+    return f"{tensor.name}|{tensor.shape}|{tensor.format}|{data}"
+
+
+def fingerprint_stmt(stmt: Any, name: str = "kernel") -> str:
+    """A stable content hash of a scheduled :class:`IndexStmt`.
+
+    Combines the CIN text (loop structure, schedule relations, map calls),
+    the environment variables, the kernel name (it appears in generated
+    code), every referenced tensor's fingerprint, and the compiler
+    version.
+    """
+    env = ",".join(f"{k}={v}" for k, v in sorted(stmt.environment_vars.items()))
+    tensors = sorted(fingerprint_tensor(t) for t in stmt.cin.tensors())
+    return _sha256(
+        "stmt", name, str(stmt.cin), env, "\n".join(tensors), compiler_version()
+    )
+
+
+def make_key(kind: str, *parts: Any) -> str:
+    """A content-addressed key for arbitrary pipeline results.
+
+    ``kind`` namespaces the entry (``"kernel"``, ``"evaluate"``, ...);
+    remaining parts are stringified into the hash along with the compiler
+    version so code changes invalidate everything.
+    """
+    return _sha256(kind, *(repr(p) for p in parts), compiler_version())
+
+
+# ---------------------------------------------------------------------------
+# Environment knobs
+# ---------------------------------------------------------------------------
+
+
+def cache_enabled() -> bool:
+    """False when ``REPRO_NO_CACHE`` disables caching globally."""
+    return os.environ.get("REPRO_NO_CACHE", "") not in ("1", "true", "yes")
+
+
+def disk_cache_dir() -> Path | None:
+    """The on-disk store location, or None when the disk layer is off."""
+    if os.environ.get("REPRO_CACHE_DISK", "") in ("0", "false", "no"):
+        return None
+    configured = os.environ.get("REPRO_CACHE_DIR", "")
+    if configured:
+        return Path(configured).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+def _memory_entries() -> int:
+    try:
+        return int(os.environ.get("REPRO_CACHE_MEM", DEFAULT_MEMORY_ENTRIES))
+    except ValueError:
+        return DEFAULT_MEMORY_ENTRIES
+
+
+# ---------------------------------------------------------------------------
+# The cache
+# ---------------------------------------------------------------------------
+
+
+class CacheStats:
+    """Hit/miss counters (observable from tests and ``repro cache info``)."""
+
+    __slots__ = ("memory_hits", "disk_hits", "misses", "stores")
+
+    def __init__(self) -> None:
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }
+
+    def __repr__(self) -> str:
+        return (f"CacheStats(memory_hits={self.memory_hits}, "
+                f"disk_hits={self.disk_hits}, misses={self.misses}, "
+                f"stores={self.stores})")
+
+
+_MISSING = object()
+
+
+class CompilationCache:
+    """Thread-safe in-memory LRU with an optional pickled disk store.
+
+    Args:
+        max_entries: in-memory LRU capacity (defaults to ``REPRO_CACHE_MEM``).
+        disk: on-disk store directory; ``None`` resolves dynamically from
+            the environment (:func:`disk_cache_dir`), ``False`` disables
+            the disk layer for this cache instance.
+    """
+
+    def __init__(
+        self,
+        max_entries: int | None = None,
+        disk: Path | str | bool | None = None,
+    ) -> None:
+        self._max_entries = max_entries
+        self._disk = disk
+        self._lock = threading.Lock()
+        self._memory: OrderedDict[str, Any] = OrderedDict()
+        self._puts = 0
+        self.stats = CacheStats()
+
+    # -- configuration ------------------------------------------------------
+
+    def _capacity(self) -> int:
+        return self._max_entries if self._max_entries is not None else _memory_entries()
+
+    def _disk_dir(self) -> Path | None:
+        if self._disk is False:
+            return None
+        if self._disk in (None, True):
+            return disk_cache_dir()
+        return Path(self._disk)
+
+    def _entry_path(self, key: str) -> Path | None:
+        base = self._disk_dir()
+        if base is None:
+            return None
+        return base / compiler_version() / key[:2] / f"{key}.pkl"
+
+    # -- core operations ----------------------------------------------------
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Look up ``key``, falling back from memory to the disk store."""
+        with self._lock:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                self.stats.memory_hits += 1
+                return self._memory[key]
+        value = self._disk_get(key)
+        if value is not _MISSING:
+            with self._lock:
+                self.stats.disk_hits += 1
+                self._memory_put(key, value)
+            return value
+        with self._lock:
+            self.stats.misses += 1
+        return default
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert into the LRU and (best-effort) the disk store."""
+        with self._lock:
+            self.stats.stores += 1
+            self._memory_put(key, value)
+        self._disk_put(key, value)
+
+    def get_or_compute(self, key: str, compute):
+        """Memoize ``compute()`` under ``key``."""
+        value = self.get(key, _MISSING)
+        if value is not _MISSING:
+            return value
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def clear_memory(self) -> None:
+        with self._lock:
+            self._memory.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            if key in self._memory:
+                return True
+        path = self._entry_path(key)
+        return path is not None and path.exists()
+
+    # -- memory layer (callers hold the lock) -------------------------------
+
+    def _memory_put(self, key: str, value: Any) -> None:
+        self._memory[key] = value
+        self._memory.move_to_end(key)
+        capacity = self._capacity()
+        while len(self._memory) > capacity:
+            self._memory.popitem(last=False)
+
+    # -- disk layer ---------------------------------------------------------
+
+    def _disk_get(self, key: str) -> Any:
+        path = self._entry_path(key)
+        if path is None or not path.exists():
+            return _MISSING
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except Exception:
+            # Corrupt / truncated / version-skewed entry: drop and miss.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return _MISSING
+
+    def _disk_put(self, key: str, value: Any) -> None:
+        path = self._entry_path(key)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(payload)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except Exception:
+            return  # disk store is best-effort; memory layer still holds it
+        with self._lock:
+            self._puts += 1
+            should_prune = self._puts % _PRUNE_EVERY == 0
+        if should_prune:
+            self.prune()
+
+    def prune(self, max_entries: int = DEFAULT_MAX_DISK_ENTRIES) -> int:
+        """Bound the disk store; return the number of entries removed.
+
+        Deletes the oldest entries of the current compiler version beyond
+        ``max_entries``, and whole trees left behind by superseded
+        compiler versions (every source edit abandons the previous tree,
+        which would otherwise grow the store without bound).
+        """
+        import re
+        import shutil
+
+        base = self._disk_dir()
+        if base is None:
+            return 0
+        current = compiler_version()
+        removed = 0
+        try:
+            siblings = list(base.iterdir())
+        except OSError:
+            siblings = []
+        for child in siblings:
+            if (child.is_dir() and child.name != current
+                    and re.fullmatch(r"[0-9a-f]{16}", child.name)):
+                stale = sum(1 for _ in child.rglob("*.pkl"))
+                shutil.rmtree(child, ignore_errors=True)
+                removed += stale
+        version_dir = base / current
+        try:
+            entries = sorted(
+                version_dir.glob("*/*.pkl"), key=lambda p: p.stat().st_mtime
+            )
+        except OSError:
+            return removed
+        for path in entries[: max(0, len(entries) - max_entries)]:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def disk_info(self) -> dict[str, Any]:
+        """Location / entry count / byte size of the disk store."""
+        base = self._disk_dir()
+        if base is None:
+            return {"dir": None, "entries": 0, "bytes": 0}
+        entries = 0
+        size = 0
+        if base.exists():
+            for path in base.rglob("*.pkl"):
+                try:
+                    size += path.stat().st_size
+                    entries += 1
+                except OSError:
+                    pass
+        return {"dir": str(base), "entries": entries, "bytes": size}
+
+
+# ---------------------------------------------------------------------------
+# Process-wide default cache
+# ---------------------------------------------------------------------------
+
+_default_cache = CompilationCache()
+
+
+def default_cache() -> CompilationCache:
+    """The process-wide cache shared by the compiler facade and harness."""
+    return _default_cache
+
+
+def memoize(kind: str, parts: tuple, compute, use_cache: bool | None = None):
+    """Memoize ``compute()`` in the default cache under a content key.
+
+    ``use_cache=None`` honours the ``REPRO_NO_CACHE`` environment knob;
+    ``False`` bypasses the cache entirely; ``True`` forces it on.
+    """
+    if use_cache is None:
+        use_cache = cache_enabled()
+    if not use_cache:
+        return compute()
+    return default_cache().get_or_compute(make_key(kind, *parts), compute)

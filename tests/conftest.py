@@ -2,11 +2,27 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.formats import CSR, DENSE_VECTOR, offChip
 from repro.tensor import Tensor
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_cache_dir(tmp_path_factory):
+    """Keep the suite hermetic: never write to the user's ~/.cache/repro.
+
+    The pipeline cache resolves REPRO_CACHE_DIR dynamically, so setting it
+    here (unless the caller already pinned one) redirects every disk-cache
+    write of the whole session to a temporary directory.
+    """
+    if "REPRO_CACHE_DIR" not in os.environ:
+        os.environ["REPRO_CACHE_DIR"] = str(
+            tmp_path_factory.mktemp("repro-cache")
+        )
 
 
 @pytest.fixture

@@ -1,0 +1,12 @@
+// TACO-style CPU kernel: spmv
+int compute_spmv(taco_tensor_t *A, taco_tensor_t *x, taco_tensor_t *y) {
+  for (int i = 0; i < y1_dim; i++) {  // #pragma omp parallel for
+    double ws = 0.0;
+    for (int pA2 = A2_pos[i]; pA2 < A2_pos[i + 1]; pA2++) {
+      int j = A2_crd[pA2];
+      ws += (A_vals[pA2] * x_vals[j]);
+    }
+    y_vals[i] = ws;
+  }
+  return 0;
+}

@@ -4,17 +4,10 @@ Any change to the lowering, memory analysis, or code generator that alters
 the emitted Spatial (or CPU C) for the reference kernels shows up here as
 a readable diff. Regenerate intentionally with:
 
-    python - <<'PY'
-    from tests.helpers_kernels import build_small_kernel_stmt
-    from repro.core import compile_stmt
-    from repro.backends import lower_cpu
-    for name in ("SpMV", "SDDMM", "Plus3"):
-        stmt, _, _ = build_small_kernel_stmt(name)
-        open(f"tests/golden/{name.lower()}.spatial", "w").write(
-            compile_stmt(stmt, name.lower()).source)
-    stmt, _, _ = build_small_kernel_stmt("SpMV")
-    open("tests/golden/spmv.c", "w").write(lower_cpu(stmt, "spmv"))
-    PY
+    python scripts/regen_golden.py
+
+and commit the result. CI's golden-drift job runs the same script and
+fails on any uncommitted difference.
 """
 
 from pathlib import Path

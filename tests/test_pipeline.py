@@ -1,0 +1,353 @@
+"""Tests for the ``repro.pipeline`` subsystem (cache + batch executor)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import compile_stmt
+from repro.formats import CSR, DENSE_VECTOR, Format, compressed, offChip
+from repro.ir import index_vars
+from repro.pipeline import cache as cache_mod
+from repro.pipeline.batch import artifact_jobs, run_artifact, run_batch
+from repro.pipeline.cache import (
+    CompilationCache,
+    compiler_version,
+    fingerprint_stmt,
+    make_key,
+)
+from repro.pipeline.executor import Job, run_jobs
+from repro.tensor import Tensor
+from tests.helpers_kernels import build_small_kernel_stmt
+
+
+@pytest.fixture
+def fresh_cache(monkeypatch, tmp_path):
+    """A pristine default cache backed by a private disk directory."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    cache = CompilationCache()
+    monkeypatch.setattr(cache_mod, "_default_cache", cache)
+    return cache
+
+
+def _spmv_stmt(fmt=None, density=0.4, inner_par=16):
+    rng_vals = [[1.0, 0.0, 2.0], [0.0, 3.0, 0.0], [4.0, 0.0, 5.0 * density]]
+    A = Tensor("A", (3, 3), (fmt or CSR)(offChip)).from_dense(rng_vals)
+    x = Tensor("x", (3,), DENSE_VECTOR(offChip)).from_dense([1.0, 2.0, 3.0])
+    y = Tensor("y", (3,), DENSE_VECTOR(offChip))
+    i, j = index_vars("i j")
+    y[i] = A[i, j] * x[j]
+    return y.get_index_stmt().environment("innerPar", inner_par)
+
+
+def DCSR(memory=offChip):
+    return Format([compressed, compressed], None, memory)
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints
+# ---------------------------------------------------------------------------
+
+
+class TestFingerprint:
+    def test_stable_across_rebuilds(self):
+        a = fingerprint_stmt(_spmv_stmt(), "spmv")
+        b = fingerprint_stmt(_spmv_stmt(), "spmv")
+        assert a == b
+
+    def test_changes_with_kernel_name(self):
+        stmt = _spmv_stmt()
+        assert fingerprint_stmt(stmt, "spmv") != fingerprint_stmt(stmt, "other")
+
+    def test_changes_with_format(self):
+        assert (fingerprint_stmt(_spmv_stmt(CSR), "spmv")
+                != fingerprint_stmt(_spmv_stmt(DCSR), "spmv"))
+
+    def test_changes_with_schedule(self):
+        assert (fingerprint_stmt(_spmv_stmt(inner_par=16), "spmv")
+                != fingerprint_stmt(_spmv_stmt(inner_par=8), "spmv"))
+
+    def test_changes_with_tensor_data(self):
+        assert (fingerprint_stmt(_spmv_stmt(density=0.4), "spmv")
+                != fingerprint_stmt(_spmv_stmt(density=0.5), "spmv"))
+
+    def test_make_key_namespaces_kinds(self):
+        assert make_key("evaluate", "SpMV") != make_key("build", "SpMV")
+
+    def test_compiler_version_is_stable(self):
+        assert compiler_version() == compiler_version()
+        assert len(compiler_version()) == 16
+
+
+# ---------------------------------------------------------------------------
+# Compilation cache
+# ---------------------------------------------------------------------------
+
+
+class TestCompileCache:
+    def test_memoizes_identical_statements(self, fresh_cache):
+        k1 = compile_stmt(_spmv_stmt(), "spmv_cache_test")
+        assert fresh_cache.stats.misses == 1
+        k2 = compile_stmt(_spmv_stmt(), "spmv_cache_test")
+        assert k2 is k1
+        assert fresh_cache.stats.memory_hits == 1
+
+    def test_schedule_change_misses(self, fresh_cache):
+        compile_stmt(_spmv_stmt(inner_par=16), "spmv_cache_test")
+        compile_stmt(_spmv_stmt(inner_par=4), "spmv_cache_test")
+        assert fresh_cache.stats.misses == 2
+        assert fresh_cache.stats.hits == 0
+
+    def test_format_change_misses(self, fresh_cache):
+        compile_stmt(_spmv_stmt(CSR), "spmv_cache_test")
+        compile_stmt(_spmv_stmt(DCSR), "spmv_cache_test")
+        assert fresh_cache.stats.misses == 2
+        assert fresh_cache.stats.hits == 0
+
+    def test_cache_false_bypasses(self, fresh_cache):
+        k1 = compile_stmt(_spmv_stmt(), "spmv_cache_test", cache=False)
+        k2 = compile_stmt(_spmv_stmt(), "spmv_cache_test", cache=False)
+        assert k1 is not k2
+        assert fresh_cache.stats.misses == 0
+
+    def test_no_cache_env_disables(self, fresh_cache, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        compile_stmt(_spmv_stmt(), "spmv_cache_test")
+        compile_stmt(_spmv_stmt(), "spmv_cache_test")
+        assert fresh_cache.stats.misses == 0
+        assert len(fresh_cache) == 0
+
+    def test_cached_kernel_still_runs(self, fresh_cache):
+        compile_stmt(_spmv_stmt(), "spmv_cache_test")
+        kernel = compile_stmt(_spmv_stmt(), "spmv_cache_test")
+        # A = [[1,0,2],[0,3,0],[4,0,2]] · x = [1,2,3]  →  [7, 6, 10]
+        assert kernel.run_dense() == pytest.approx([7.0, 6.0, 10.0])
+
+
+class TestDiskStore:
+    def test_round_trip_across_instances(self, tmp_path):
+        first = CompilationCache(disk=tmp_path)
+        first.put("a" * 64, {"answer": 42})
+        # A fresh instance (fresh process, conceptually) hits the disk.
+        second = CompilationCache(disk=tmp_path)
+        assert second.get("a" * 64) == {"answer": 42}
+        assert second.stats.disk_hits == 1
+
+    def test_compiled_kernel_round_trip(self, tmp_path):
+        stmt, _, _ = build_small_kernel_stmt("SpMV")
+        kernel = compile_stmt(stmt, "spmv", cache=False)
+        key = fingerprint_stmt(stmt, "spmv")
+        CompilationCache(disk=tmp_path).put(key, kernel)
+        loaded = CompilationCache(disk=tmp_path).get(key)
+        assert loaded.source == kernel.source
+        assert loaded.spatial_loc == kernel.spatial_loc
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        cache = CompilationCache(disk=tmp_path)
+        cache.put("b" * 64, [1, 2, 3])
+        path = cache._entry_path("b" * 64)
+        path.write_bytes(b"not a pickle")
+        fresh = CompilationCache(disk=tmp_path)
+        assert fresh.get("b" * 64, "missing") == "missing"
+        assert not path.exists()  # corrupt entry was dropped
+
+    def test_disk_disabled(self, tmp_path):
+        cache = CompilationCache(disk=False)
+        cache.put("c" * 64, 1)
+        assert cache._entry_path("c" * 64) is None
+        assert CompilationCache(disk=False).get("c" * 64) is None
+
+    def test_lru_eviction_bounded_memory(self, tmp_path):
+        cache = CompilationCache(max_entries=2, disk=False)
+        for key in ("k1", "k2", "k3"):
+            cache.put(key, key.upper())
+        assert len(cache) == 2
+        assert cache.get("k1") is None  # evicted, no disk fallback
+        assert cache.get("k3") == "K3"
+
+    def test_prune_caps_disk_entries(self, tmp_path):
+        cache = CompilationCache(disk=tmp_path)
+        for n in range(6):
+            cache.put(f"{n:02d}" + "e" * 62, n)
+        removed = cache.prune(max_entries=2)
+        assert removed == 4
+        assert cache.disk_info()["entries"] == 2
+
+    def test_prune_removes_stale_version_trees(self, tmp_path):
+        stale = tmp_path / ("0" * 16) / "ab"
+        stale.mkdir(parents=True)
+        (stale / ("ab" + "f" * 62 + ".pkl")).write_bytes(b"old")
+        unrelated = tmp_path / "not-a-version-dir"
+        unrelated.mkdir()
+        cache = CompilationCache(disk=tmp_path)
+        cache.put("d" * 64, 1)
+        assert cache.prune() == 1  # the stale entry
+        assert not stale.exists()
+        assert unrelated.exists()  # non-cache content untouched
+        assert cache.get("d" * 64) == 1  # current version intact
+
+
+# ---------------------------------------------------------------------------
+# Executor
+# ---------------------------------------------------------------------------
+
+
+def _slow_identity(value, delay=0.0):
+    time.sleep(delay)
+    return value
+
+
+def _boom(value):
+    raise ValueError(f"boom {value}")
+
+
+class TestExecutor:
+    def test_results_in_submission_order(self):
+        # Later jobs finish first; results must still come back in order.
+        jobs = [Job((n,), _slow_identity, (n, 0.05 * (3 - n)))
+                for n in range(4)]
+        results = run_jobs(jobs, max_workers=4)
+        assert [r.value for r in results] == [0, 1, 2, 3]
+        assert all(r.ok for r in results)
+
+    def test_serial_and_parallel_agree(self):
+        jobs = [Job((n,), _slow_identity, (n,)) for n in range(8)]
+        serial = [r.value for r in run_jobs(jobs, max_workers=1)]
+        parallel = [r.value for r in run_jobs(jobs, max_workers=4)]
+        assert serial == parallel
+
+    def test_failure_isolation(self):
+        jobs = [
+            Job(("ok1",), _slow_identity, (1,)),
+            Job(("bad",), _boom, (2,)),
+            Job(("ok2",), _slow_identity, (3,)),
+        ]
+        results = run_jobs(jobs, max_workers=2)
+        assert [r.ok for r in results] == [True, False, True]
+        assert "boom 2" in results[1].error
+        assert results[0].value == 1 and results[2].value == 3
+        with pytest.raises(RuntimeError, match="bad"):
+            results[1].unwrap()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            run_jobs([Job((1,), _slow_identity, (1,))] * 2,
+                     max_workers=2, kind="fiber")
+
+
+# ---------------------------------------------------------------------------
+# Batch artefacts
+# ---------------------------------------------------------------------------
+
+TINY = 0.02
+
+
+class TestBatch:
+    def test_table6_job_list_covers_all_combinations(self):
+        from repro.data import datasets_for
+        from repro.kernels import KERNEL_ORDER
+
+        jobs = artifact_jobs("table6", TINY)
+        expected = [(k, d.name, "*") for k in KERNEL_ORDER
+                    for d in datasets_for(k)]
+        assert [j.key for j in jobs] == expected
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(KeyError):
+            artifact_jobs("table7", TINY)
+
+    def test_parallel_table6_identical_to_serial(self):
+        from repro.eval.harness import format_table6, table6
+
+        serial = table6(TINY, jobs=1, use_cache=False)
+        parallel = table6(TINY, jobs=4, use_cache=False)
+        assert serial == parallel  # bitwise-equal floats
+        assert format_table6(serial) == format_table6(parallel)
+
+    def test_warm_cache_returns_equal_table6(self, fresh_cache):
+        from repro.eval.harness import table6
+
+        cold = table6(TINY)
+        hits_before = fresh_cache.stats.hits
+        warm = table6(TINY)
+        assert warm == cold
+        assert fresh_cache.stats.hits > hits_before
+
+    def test_run_batch_summary_and_texts(self):
+        run = run_batch(["table3"], TINY, jobs=2, use_cache=False)
+        assert not run.failures
+        assert "Table 3" in run.texts["table3"]
+        assert "10 jobs" in run.summary()
+
+    def test_run_artifact_raises_on_failure(self, monkeypatch):
+        from repro.pipeline import batch
+
+        def broken(kernel_name, scale, use_cache=None):
+            raise RuntimeError("injected failure")
+
+        monkeypatch.setattr(batch, "table3_cell", broken)
+        with pytest.raises(RuntimeError, match="injected failure"):
+            run_artifact("table3", TINY, jobs=2)
+
+
+# ---------------------------------------------------------------------------
+# Harness integration
+# ---------------------------------------------------------------------------
+
+
+class TestEvaluateCache:
+    def test_evaluate_memoizes(self, fresh_cache):
+        from repro.eval.harness import evaluate
+
+        first = evaluate("SpMV", "bcsstk30", TINY)
+        misses = fresh_cache.stats.misses
+        second = evaluate("SpMV", "bcsstk30", TINY)
+        assert second.seconds == first.seconds
+        assert fresh_cache.stats.misses == misses  # pure hit
+
+    def test_platform_filter(self, fresh_cache):
+        from repro.eval.harness import evaluate
+
+        times = evaluate("SpMV", "bcsstk30", TINY,
+                         platforms=("Capstan (HBM2E)", "V100 GPU"))
+        assert set(times.seconds) == {"Capstan (HBM2E)", "V100 GPU"}
+
+    def test_unknown_platform_rejected(self, fresh_cache):
+        from repro.eval.harness import evaluate
+
+        with pytest.raises(ValueError, match="unknown platform"):
+            evaluate("SpMV", "bcsstk30", TINY, platforms=("TPU v5",))
+
+
+class TestCli:
+    def test_batch_list(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["batch", "table6", "--list", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "SpMV:bcsstk30:*" in out
+
+    def test_batch_runs_artifacts(self, capsys, fresh_cache):
+        from repro.__main__ import main
+
+        assert main(["batch", "table3", "--scale", "0.02", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "batch: 10 jobs" in out
+
+    def test_tables_jobs_flag(self, capsys, fresh_cache):
+        from repro.__main__ import main
+
+        assert main(["tables", "table5", "--jobs", "2", "--no-cache"]) == 0
+        assert "Table 5" in capsys.readouterr().out
+
+    def test_cache_info_and_clear(self, capsys, fresh_cache):
+        from repro.__main__ import main
+
+        compile_stmt(_spmv_stmt(), "spmv_cli_cache")
+        assert main(["cache", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "cache dir:" in out and "entries:" in out
+        assert main(["cache", "clear"]) == 0
+        assert fresh_cache.disk_info()["entries"] == 0
