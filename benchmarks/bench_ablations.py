@@ -18,7 +18,6 @@ its claims:
   SuiteSparse substitutes.
 """
 
-import pytest
 
 
 from repro.backends.handwritten import HandwrittenCapstanSpMV

@@ -7,7 +7,6 @@ to Capstan; TACO compiles the CPU and GPU baselines).
 
 from statistics import geometric_mean
 
-import pytest
 
 from benchmarks.conftest import JOBS, SCALE
 from repro.util import ascii_bars

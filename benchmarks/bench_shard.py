@@ -1,0 +1,101 @@
+"""Sharded sweep overhead and staged-cache effectiveness.
+
+Two properties of the shard/merge pipeline worth tracking over time:
+
+* **Shard overhead** — running an artefact as N manifests plus a merge
+  should cost roughly what the serial run costs (the manifest encode /
+  decode / validate layer must stay negligible next to compilation and
+  simulation), while distributing cleanly over hosts.
+* **Staged reuse** — a ``--no-cache`` recompute with a warm dataset
+  stage should beat a fully cold one: dataset generation dominates cold
+  build time and is exempt from ``--no-cache``, so only the compile-side
+  stages are redone.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import TINY
+
+from repro.eval.harness import evaluate, table6
+from repro.pipeline import cache as cache_mod
+from repro.pipeline.cache import CompilationCache
+from repro.pipeline.shard import ShardSpec, merge_manifests, run_shard
+
+
+def _fresh_default_cache(monkeypatch, tmp_path) -> CompilationCache:
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    cache = CompilationCache()
+    monkeypatch.setattr(cache_mod, "_default_cache", cache)
+    return cache
+
+
+def test_shard_merge_vs_serial(benchmark, report, monkeypatch, tmp_path):
+    """3-way shard + merge against the serial table6 run."""
+    _fresh_default_cache(monkeypatch, tmp_path)
+
+    t0 = time.perf_counter()
+    serial = table6(TINY, use_cache=False)
+    serial_s = time.perf_counter() - t0
+
+    # Fresh cache per shard: each "host" starts cold and shares nothing,
+    # the worst case for the sharded path.
+    t0 = time.perf_counter()
+    manifests = []
+    for i in (1, 2, 3):
+        _fresh_default_cache(monkeypatch, tmp_path / f"host{i}")
+        manifests.append(run_shard("table6", TINY, ShardSpec(i, 3),
+                                   use_cache=False))
+    merged = merge_manifests(manifests)
+    sharded_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    remerged = merge_manifests(manifests)
+    merge_s = time.perf_counter() - t0
+
+    benchmark.pedantic(merge_manifests, args=(manifests,),
+                       rounds=3, iterations=1)
+
+    report(
+        f"shard/merge overhead (table6, scale {TINY})",
+        f"serial            {serial_s * 1e3:9.1f} ms\n"
+        f"3 shards + merge  {sharded_s * 1e3:9.1f} ms "
+        f"({sharded_s / serial_s:5.2f}x serial, sequential hosts)\n"
+        f"merge only        {merge_s * 1e3:9.1f} ms "
+        f"({100 * merge_s / serial_s:5.2f}% of serial)",
+    )
+    assert merged.data == serial
+    assert remerged.data == serial
+
+
+def test_no_cache_with_warm_datasets(benchmark, report, monkeypatch,
+                                     tmp_path):
+    """--no-cache recompute: cold vs dataset-stage-warm."""
+    cell = ("SpMV", "bcsstk30")
+
+    _fresh_default_cache(monkeypatch, tmp_path / "cold")
+    t0 = time.perf_counter()
+    cold_result = evaluate(*cell, TINY, use_cache=False)
+    cold = time.perf_counter() - t0
+
+    # Warm the dataset stage only (a prior cached run), then recompute.
+    cache = _fresh_default_cache(monkeypatch, tmp_path / "warm")
+    evaluate(*cell, TINY)
+    t0 = time.perf_counter()
+    warm_result = evaluate(*cell, TINY, use_cache=False)
+    warm = time.perf_counter() - t0
+    hits = cache.stats.stage_hits.get("dataset", 0)
+
+    benchmark.pedantic(evaluate, args=(*cell, TINY),
+                       kwargs={"use_cache": False}, rounds=3, iterations=1)
+
+    report(
+        f"--no-cache with warm dataset stage ({cell[0]} on {cell[1]}, "
+        f"scale {TINY})",
+        f"fully cold          {cold * 1e3:9.1f} ms\n"
+        f"datasets warm       {warm * 1e3:9.1f} ms "
+        f"({cold / warm:5.2f}x; dataset-stage hits: {hits})",
+    )
+    assert warm_result.seconds == cold_result.seconds
+    assert hits >= 1

@@ -13,10 +13,9 @@ Run:  python examples/design_space_exploration.py
 
 import numpy as np
 
-from repro.capstan import HBM2E, CapstanSimulator, compute_stats, estimate_resources
+from repro.capstan import HBM2E, CapstanSimulator
 from repro.core import compile_stmt
 from repro.kernels import KERNELS
-from repro.tensor import Tensor
 
 
 def make_tensors(kernel_name: str, n: int, density: float, rng):

@@ -8,7 +8,7 @@ import numpy as np
 
 from repro.core import compile_stmt
 from repro.kernels import KERNELS
-from repro.tensor import Tensor, evaluate_dense, scalar, to_dense
+from repro.tensor import evaluate_dense, to_dense
 
 
 def sparse_dense(rng, shape, density=0.4):

@@ -4,10 +4,18 @@ Writes the formatted tables/figures to results/ and prints them. This is
 the run recorded in EXPERIMENTS.md. The regeneration routes through
 ``repro.pipeline``: pass ``--jobs N`` (or set REPRO_JOBS) to fan the
 (kernel, dataset) work out over N workers, and ``--no-cache`` to force a
-cold recomputation; otherwise repeated runs reuse the on-disk
-compilation cache under REPRO_CACHE_DIR (default ~/.cache/repro).
+cold recomputation (dataset generation is a separately-staged cache
+entry, so even that reuses previously generated datasets); otherwise
+repeated runs reuse the on-disk cache under REPRO_CACHE_DIR (default
+~/.cache/repro).
+
+For multi-host sweeps, ``--shard I/N`` runs this host's deterministic
+slice of every artefact's job list and writes shard manifests to
+``--shard-dir`` instead of tables; collect the manifests from all N
+hosts and fold each artefact with ``python -m repro merge``.
 
 Usage:  python scripts/run_experiments.py [scale] [--jobs N] [--no-cache]
+                                          [--shard I/N [--shard-dir DIR]]
 """
 
 import argparse
@@ -26,13 +34,49 @@ OUT = Path(__file__).resolve().parent.parent / "results"
 TINY = 0.02
 
 
+#: (artefact, scale attribute) pairs in regeneration order.
+def _artifact_scales(scale: float) -> list[tuple[str, float]]:
+    return [("table3", TINY), ("table5", TINY),
+            ("table6", scale), ("figure12", scale)]
+
+
+def _run_shard(args, use_cache) -> int:
+    """Write this host's shard manifest for every artefact."""
+    from repro.pipeline.shard import ShardSpec, run_shard
+
+    spec = ShardSpec.parse(args.shard)
+    shard_dir = args.shard_dir
+    shard_dir.mkdir(parents=True, exist_ok=True)
+    failures = 0
+    for artifact, at in _artifact_scales(args.scale):
+        manifest = run_shard(artifact, at, spec, jobs=args.jobs,
+                             use_cache=use_cache)
+        out = shard_dir / f"{artifact}.shard{spec.index}of{spec.count}.json"
+        manifest.save(out)
+        failed = len(manifest.failures())
+        failures += failed
+        print(f"{artifact:10s} shard {spec}: {len(manifest.jobs)}/"
+              f"{manifest.total_jobs} job(s), {failed} failed -> {out}")
+    print(f"\nCollect all {spec.count} hosts' manifests, then per artefact:\n"
+          f"  python -m repro merge {shard_dir}/<artefact>.shard*.json")
+    return 1 if failures else 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("scale", nargs="?", type=float, default=1.0)
     parser.add_argument("--jobs", type=int, default=None)
     parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--shard", metavar="I/N", default=None,
+                        help="run shard I of N and write manifests "
+                             "instead of tables")
+    parser.add_argument("--shard-dir", type=Path, default=OUT / "shards",
+                        help="manifest output directory for --shard")
     args = parser.parse_args()
     use_cache = False if args.no_cache else None
+
+    if args.shard:
+        return _run_shard(args, use_cache)
 
     OUT.mkdir(exist_ok=True)
     t0 = time.time()
@@ -55,9 +99,11 @@ def main() -> int:
         print(text)
 
     stats = default_cache().stats
+    stages = stats.stage_summary()
     print(f"\nTotal time: {time.time() - t0:.1f}s; "
-          f"cache: {stats.hits} hits / {stats.misses} misses; "
-          f"artefacts in {OUT}/")
+          f"cache: {stats.hits} hits / {stats.misses} misses"
+          + (f" [{stages}]" if stages else "")
+          + f"; artefacts in {OUT}/")
     return 1 if failures else 0
 
 

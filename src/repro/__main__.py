@@ -10,7 +10,11 @@ Subcommands:
   (``--jobs N`` fans the work out; ``--no-cache`` recomputes from
   scratch).
 * ``batch``    — regenerate several artefacts as one parallel job batch,
-  with per-job failure isolation and a cache/throughput summary.
+  with per-job failure isolation and a cache/throughput summary;
+  ``--shard I/N --out F.json`` runs one deterministic slice of a single
+  artefact's job list and writes a shard manifest instead.
+* ``merge``    — validate shard manifests and fold them into the full
+  artefact, byte-identical to the serial ``tables`` output.
 * ``cache``    — inspect or clear the on-disk compilation cache.
 """
 
@@ -93,17 +97,36 @@ def _cmd_tables(args) -> int:
 def _cmd_batch(args) -> int:
     from repro.pipeline.batch import ARTIFACT_NAMES, artifact_jobs, run_batch
     from repro.pipeline.cache import default_cache
+    from repro.pipeline.shard import ShardSpec
 
     artifacts = list(args.artifacts)
     if "all" in artifacts:
         artifacts = list(ARTIFACT_NAMES)
     use_cache = _use_cache(args)
 
+    spec = None
+    if args.shard:
+        try:
+            spec = ShardSpec.parse(args.shard)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if len(artifacts) != 1:
+            print("--shard slices one artefact's job list; pass exactly "
+                  "one artefact (one manifest per file)", file=sys.stderr)
+            return 2
+
     if args.list:
         for artifact in artifacts:
-            for job in artifact_jobs(artifact, args.scale, use_cache):
+            jobs = artifact_jobs(artifact, args.scale, use_cache)
+            if spec is not None:
+                jobs = spec.select(jobs)
+            for job in jobs:
                 print(f"{artifact:10s}  {job}")
         return 0
+
+    if spec is not None:
+        return _run_shard_to_manifest(args, artifacts[0], spec, use_cache)
 
     run = run_batch(artifacts, args.scale, jobs=args.jobs,
                     use_cache=use_cache,
@@ -123,6 +146,57 @@ def _cmd_batch(args) -> int:
         cache_note = f"cache: {stats.hits} hits / {stats.misses} misses"
     print(f"{run.summary()} ({cache_note})")
     return 1 if run.failures else 0
+
+
+def _run_shard_to_manifest(args, artifact: str, spec, use_cache) -> int:
+    from repro.pipeline.cache import default_cache
+    from repro.pipeline.shard import run_shard
+
+    def progress(res, index, total):
+        status = "ok" if res.ok else "FAILED"
+        print(f"[{index + 1}/{total}] {res.job}: {status} "
+              f"({res.seconds:.2f}s)", file=sys.stderr)
+
+    manifest = run_shard(artifact, args.scale, spec, jobs=args.jobs,
+                         use_cache=use_cache,
+                         kind="process" if args.processes else "thread",
+                         on_result=progress)
+    out = args.out or f"{artifact}.shard{spec.index}of{spec.count}.json"
+    manifest.save(out)
+    failures = manifest.failures()
+    stages = default_cache().stats.stage_summary()
+    note = f"; cache stages: {stages}" if stages and not args.processes else ""
+    print(f"shard {spec} of {artifact} (scale {args.scale}): "
+          f"{len(manifest.jobs)}/{manifest.total_jobs} job(s), "
+          f"{len(failures)} failed -> {out}{note}")
+    for entry in failures:
+        key = ":".join(str(k) for k in entry["key"])
+        print(f"FAILED {key}:\n{entry.get('error', '')}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _cmd_merge(args) -> int:
+    from pathlib import Path
+
+    from repro.pipeline.shard import (
+        ManifestError,
+        ShardManifest,
+        merge_manifests,
+    )
+
+    try:
+        manifests = [ShardManifest.load(p) for p in args.manifests]
+        merged = merge_manifests(
+            manifests,
+            require_current_compiler=not args.allow_stale_compiler,
+        )
+    except ManifestError as exc:
+        print(f"merge error: {exc}", file=sys.stderr)
+        return 1
+    if args.out:
+        Path(args.out).write_text(merged.text + "\n")
+    print(merged.text)
+    return 0
 
 
 def _cmd_cache(args) -> int:
@@ -209,6 +283,25 @@ def main(argv: list[str] | None = None) -> int:
     p_batch.add_argument("--list", action="store_true",
                          help="print the (kernel, dataset, platform) job "
                               "list without running it")
+    p_batch.add_argument("--shard", metavar="I/N", default=None,
+                         help="run only shard I of N (1-based, "
+                              "deterministic round-robin slice) and write "
+                              "a JSON manifest instead of printing tables")
+    p_batch.add_argument("--out", default=None,
+                         help="manifest path for --shard (default: "
+                              "<artefact>.shardIofN.json)")
+
+    p_merge = sub.add_parser(
+        "merge", help="merge shard manifests into the full artefact")
+    p_merge.add_argument("manifests", nargs="+",
+                         help="shard manifest files written by "
+                              "`batch --shard I/N --out ...`")
+    p_merge.add_argument("--out", default=None,
+                         help="also write the merged artefact text here")
+    p_merge.add_argument("--allow-stale-compiler", action="store_true",
+                         help="merge manifests produced by a different "
+                              "compiler version (hashes must still agree "
+                              "between shards)")
 
     p_cache = sub.add_parser("cache", help="inspect or clear the cache")
     p_cache.add_argument("action", choices=["info", "clear"])
@@ -226,6 +319,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "tables": _cmd_tables,
         "batch": _cmd_batch,
+        "merge": _cmd_merge,
         "cache": _cmd_cache,
     }
     return handlers[args.command](args)

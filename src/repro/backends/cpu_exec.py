@@ -40,7 +40,6 @@ from repro.ir.index_notation import (
     Mul,
     Neg,
     Sub,
-    additive_terms,
 )
 from repro.ir.lattice import MergeLattice, build_lattice, iteration_space
 from repro.schedule.stmt import IndexStmt

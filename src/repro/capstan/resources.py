@@ -30,14 +30,12 @@ from repro.core.compiler import CompiledKernel
 from repro.formats.memory import MemoryType
 from repro.spatial.ir import (
     BitVectorDecl,
-    DenseCounter,
     Foreach,
     GenBitVector,
     LoadBulk,
     MemReduce,
     ReducePat,
     SBin,
-    ScanCounter,
     SExpr,
     SStmt,
     SramDecl,
@@ -213,3 +211,22 @@ def estimate_resources(
         shuffle=shuffle,
         config=config,
     )
+
+
+def estimate_resources_cached(
+    kernel: CompiledKernel,
+    key: tuple | None = None,
+    use_cache: bool | None = None,
+) -> ResourceEstimate:
+    """:func:`estimate_resources` memoized under the ``resources`` stage.
+
+    Keyed by the evaluation coordinates when given (so Table 5 rows and
+    Table 6 simulations share one entry per kernel configuration), else
+    by the statement fingerprint.
+    """
+    from repro.pipeline.cache import fingerprint_stmt, memoize_stage
+
+    parts = key if key is not None else (fingerprint_stmt(kernel.stmt,
+                                                          kernel.name),)
+    return memoize_stage("resources", tuple(parts),
+                         lambda: estimate_resources(kernel), use_cache)

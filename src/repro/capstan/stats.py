@@ -37,7 +37,7 @@ from repro.ir.cin import (
     SuchThat,
     Where,
 )
-from repro.ir.index_notation import Access, Add, IndexExpr, Literal, Mul, Neg, Sub
+from repro.ir.index_notation import Add, IndexExpr, Mul, Neg, Sub
 from repro.tensor.bitvector import WORD_BITS
 from repro.tensor.storage import CompressedLevel, unpack
 from repro.tensor.tensor import Tensor
@@ -390,3 +390,24 @@ def compute_stats(kernel: CompiledKernel, tensors: dict[str, Tensor] | None = No
     if tensors:
         bound.update(tensors)
     return StatsBuilder(kernel, bound).build()
+
+
+def compute_stats_cached(
+    kernel: CompiledKernel,
+    key: tuple | None = None,
+    use_cache: bool | None = None,
+) -> WorkloadStats:
+    """:func:`compute_stats` memoized under the pipeline's ``stats`` stage.
+
+    ``key`` is the evaluation coordinate tuple, e.g. ``(kernel, dataset,
+    scale, seed)``; callers that share coordinates (Table 6 cells and the
+    Figure 12 bandwidth sweep) then share one stats entry per cell instead
+    of re-deriving it per artefact. Without ``key`` the statement
+    fingerprint is used, which still dedupes identical kernels.
+    """
+    from repro.pipeline.cache import fingerprint_stmt, memoize_stage
+
+    parts = key if key is not None else (fingerprint_stmt(kernel.stmt,
+                                                          kernel.name),)
+    return memoize_stage("stats", tuple(parts),
+                         lambda: compute_stats(kernel), use_cache)

@@ -25,7 +25,6 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional
 
-from repro.formats.levels import LevelKind
 from repro.ir.index_notation import (
     Access,
     Add,

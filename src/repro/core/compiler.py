@@ -115,7 +115,7 @@ def compile_stmt(
         return _compile(stmt, name)
     key = cache_mod.fingerprint_stmt(stmt, name)
     return cache_mod.default_cache().get_or_compute(
-        key, lambda: _compile(stmt, name)
+        key, lambda: _compile(stmt, name), stage="kernel"
     )
 
 

@@ -20,7 +20,6 @@ invalid (union) parents.
 
 from __future__ import annotations
 
-import dataclasses
 import itertools
 from typing import Optional
 

@@ -31,7 +31,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional
 
-from repro.formats.memory import MemoryRegion, MemoryType
+from repro.formats.memory import MemoryType
 from repro.ir.cin import (
     CinAssign,
     CinSequence,
@@ -45,7 +45,6 @@ from repro.ir.cin import (
 from repro.ir.index_notation import Access, IndexVar
 from repro.core.coiteration import (
     IterationStrategy,
-    LevelIterator,
     LoweringError,
     build_strategy,
 )

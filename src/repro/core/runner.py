@@ -10,7 +10,6 @@ cost evaluation.
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 

@@ -15,12 +15,11 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from collections.abc import Callable
 
 import numpy as np
 
 from repro.data import generators as gen
-from repro.kernels.suite import KERNELS, KernelSpec
+from repro.kernels.suite import KERNELS
 from repro.tensor.tensor import Tensor
 
 #: Dense factor rank for SDDMM's C/D matrices.
@@ -156,7 +155,6 @@ def _shape_for(kernel: str, name: str, role: str, order: int, dims) -> tuple:
     """Operand shapes per kernel convention."""
     if order == 0:
         return ()
-    n = dims[0]
     if kernel == "SpMV":
         return {"A": (dims[0], dims[1]), "x": (dims[1],), "y": (dims[0],)}[name]
     if kernel == "Plus3":

@@ -217,7 +217,7 @@ class MapCall(CinStmt):
 # ---------------------------------------------------------------------------
 
 
-from repro.ir.index_notation import additive_terms as _additive_terms
+from repro.ir.index_notation import additive_terms as _additive_terms  # noqa: E402
 
 
 def make_concrete(assignment: Assignment) -> CinStmt:

@@ -13,6 +13,9 @@ and benchmark drivers all route through:
   isolation.
 * :mod:`repro.pipeline.batch` — each paper artefact (Tables 3/5/6,
   Figure 12) expressed as an explicit job list.
+* :mod:`repro.pipeline.shard` — deterministic sharding of those job
+  lists across workers/hosts, with self-describing JSON manifests and a
+  validating merge that reproduces the serial artefacts byte-identically.
 """
 
 from repro.pipeline.cache import (
@@ -25,6 +28,9 @@ from repro.pipeline.cache import (
     fingerprint_stmt,
     fingerprint_tensor,
     make_key,
+    memoize,
+    memoize_stage,
+    stage_version,
 )
 from repro.pipeline.executor import Job, JobResult, default_jobs, run_jobs
 from repro.pipeline.batch import (
@@ -34,6 +40,15 @@ from repro.pipeline.batch import (
     run_artifact,
     run_batch,
 )
+from repro.pipeline.shard import (
+    ManifestError,
+    MergedArtifact,
+    MergeError,
+    ShardManifest,
+    ShardSpec,
+    merge_manifests,
+    run_shard,
+)
 
 __all__ = [
     "ARTIFACT_NAMES",
@@ -42,6 +57,11 @@ __all__ = [
     "CompilationCache",
     "Job",
     "JobResult",
+    "ManifestError",
+    "MergeError",
+    "MergedArtifact",
+    "ShardManifest",
+    "ShardSpec",
     "artifact_jobs",
     "cache_enabled",
     "compiler_version",
@@ -51,7 +71,12 @@ __all__ = [
     "fingerprint_stmt",
     "fingerprint_tensor",
     "make_key",
+    "memoize",
+    "memoize_stage",
+    "merge_manifests",
     "run_artifact",
     "run_batch",
     "run_jobs",
+    "run_shard",
+    "stage_version",
 ]

@@ -16,7 +16,7 @@ import time
 from statistics import geometric_mean
 from typing import Any
 
-from repro.pipeline.cache import memoize
+from repro.pipeline.cache import memoize_stage
 from repro.pipeline.executor import Job, JobResult, run_jobs
 
 __all__ = [
@@ -47,18 +47,24 @@ def evaluate_cell(kernel_name: str, dataset_name: str, scale: float,
 
 def table5_cell(kernel_name: str, scale: float,
                 use_cache: bool | None = None):
-    """One Table 5 row: the resource estimate for one compiled kernel."""
+    """One Table 5 row: the resource estimate for one compiled kernel.
+
+    Memoized under the ``resources`` stage with the same coordinate key
+    the Table 6 simulations use, so whichever shard computes a kernel's
+    estimate first serves every other artefact that needs it.
+    """
     from repro.capstan.resources import estimate_resources
     from repro.eval import harness
 
+    dataset = harness.first_dataset(kernel_name)
+
     def compute():
-        kernel = harness.build_kernel_cached(
-            kernel_name, harness.first_dataset(kernel_name), scale,
-            use_cache=use_cache,
-        )
+        kernel = harness.build_kernel_cached(kernel_name, dataset, scale,
+                                             use_cache=use_cache)
         return estimate_resources(kernel)
 
-    return memoize("table5", (kernel_name, scale), compute, use_cache)
+    return memoize_stage("resources", (kernel_name, dataset, scale, 7),
+                         compute, use_cache)
 
 
 def table3_cell(kernel_name: str, scale: float,
@@ -82,30 +88,32 @@ def table3_cell(kernel_name: str, scale: float,
             "paper_spatial_loc": paper_sp,
         }
 
-    return memoize("table3", (kernel_name, scale), compute, use_cache)
+    return memoize_stage("table3", (kernel_name, scale), compute, use_cache)
 
 
 def figure12_cell(kernel_name: str, scale: float,
                   use_cache: bool | None = None):
     """One Figure 12 series: the bandwidth sweep for one kernel."""
     from repro.capstan.simulator import CapstanSimulator
-    from repro.capstan.stats import compute_stats
+    from repro.capstan.stats import compute_stats_cached
     from repro.eval import harness
     from repro.eval.paper_results import FIG12_BANDWIDTHS
 
+    dataset = harness.first_dataset(kernel_name)
+
     def compute():
-        kernel = harness.build_kernel_cached(
-            kernel_name, harness.first_dataset(kernel_name), scale,
-            use_cache=use_cache,
-        )
-        stats = compute_stats(kernel)
+        kernel = harness.build_kernel_cached(kernel_name, dataset, scale,
+                                             use_cache=use_cache)
+        # Shares the per-cell stats entry with the Table 6 simulations.
+        stats = compute_stats_cached(kernel, (kernel_name, dataset, scale, 7),
+                                     use_cache)
         sweep = CapstanSimulator().sweep_bandwidth(
             kernel, None, FIG12_BANDWIDTHS, stats
         )
         base = sweep[FIG12_BANDWIDTHS[0]].seconds
         return {bw: base / res.seconds for bw, res in sweep.items()}
 
-    return memoize("figure12", (kernel_name, scale), compute, use_cache)
+    return memoize_stage("figure12", (kernel_name, scale), compute, use_cache)
 
 
 # ---------------------------------------------------------------------------

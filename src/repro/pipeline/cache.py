@@ -19,6 +19,13 @@ provides that memoization for the whole pipeline:
   a per-compiler-version directory keyed by SHA-256, so the store is safe
   to share between concurrent runs: writes are atomic renames and corrupt
   or unreadable entries degrade to cache misses.
+* :func:`memoize_stage` splits the pipeline into separately-keyed
+  **stages** (``dataset`` generation, ``kernel`` compilation, ``stats``,
+  ``resources``, and the artefact-level results). Stages are the unit of
+  sharing between shard workers and of selective invalidation: the
+  ``dataset`` stage is keyed by a hash of only the data/format/tensor
+  sources (compiler edits keep datasets warm) and is exempt from
+  ``--no-cache``, so a forced recompile never regenerates datasets.
 
 Environment knobs (read dynamically, so tests can monkeypatch them):
 
@@ -43,6 +50,7 @@ from typing import Any
 __all__ = [
     "CacheStats",
     "CompilationCache",
+    "NO_CACHE_EXEMPT_STAGES",
     "cache_enabled",
     "compiler_version",
     "default_cache",
@@ -51,6 +59,9 @@ __all__ = [
     "fingerprint_tensor",
     "make_key",
     "memoize",
+    "memoize_stage",
+    "stage_version",
+    "subsystem_version",
 ]
 
 #: Default in-memory LRU capacity.
@@ -89,6 +100,45 @@ def compiler_version() -> str:
         h.update(str(path.relative_to(root)).encode())
         h.update(path.read_bytes())
     return h.hexdigest()[:16]
+
+
+@functools.lru_cache(maxsize=None)
+def subsystem_version(subpackages: tuple[str, ...]) -> str:
+    """A hash of the source files of selected ``repro`` subpackages.
+
+    Narrower than :func:`compiler_version`: cache stages whose results
+    depend only on part of the codebase (dataset generation does not care
+    about the lowerer) key on the subsystems they actually read, so
+    unrelated compiler edits keep those entries warm.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    h = hashlib.sha256()
+    for sub in sorted(subpackages):
+        for path in sorted((root / sub).rglob("*.py")):
+            h.update(str(path.relative_to(root)).encode())
+            h.update(path.read_bytes())
+    return h.hexdigest()[:16]
+
+
+#: Stages still served from cache under ``--no-cache``: regenerating a
+#: synthetic dataset is deterministic in (name, scale, seed) and does not
+#: involve the compiler, so a forced recompile never needs to redo it.
+NO_CACHE_EXEMPT_STAGES = frozenset({"dataset"})
+
+#: Stages keyed by a subsystem hash instead of the whole-compiler hash.
+_STAGE_SUBSYSTEMS: dict[str, tuple[str, ...]] = {
+    "dataset": ("data", "formats", "kernels", "tensor"),
+}
+
+
+def stage_version(stage: str) -> str:
+    """The cache-invalidation token for one pipeline stage."""
+    subs = _STAGE_SUBSYSTEMS.get(stage)
+    if subs is None:
+        return compiler_version()
+    return subsystem_version(subs)
 
 
 def fingerprint_tensor(tensor: Any) -> str:
@@ -132,14 +182,16 @@ def fingerprint_stmt(stmt: Any, name: str = "kernel") -> str:
     )
 
 
-def make_key(kind: str, *parts: Any) -> str:
+def make_key(kind: str, *parts: Any, version: str | None = None) -> str:
     """A content-addressed key for arbitrary pipeline results.
 
     ``kind`` namespaces the entry (``"kernel"``, ``"evaluate"``, ...);
-    remaining parts are stringified into the hash along with the compiler
-    version so code changes invalidate everything.
+    remaining parts are stringified into the hash along with a version
+    token — the whole-compiler hash unless the caller passes the
+    narrower :func:`stage_version` — so code changes invalidate entries.
     """
-    return _sha256(kind, *(repr(p) for p in parts), compiler_version())
+    return _sha256(kind, *(repr(p) for p in parts),
+                   version if version is not None else compiler_version())
 
 
 # ---------------------------------------------------------------------------
@@ -175,26 +227,55 @@ def _memory_entries() -> int:
 
 
 class CacheStats:
-    """Hit/miss counters (observable from tests and ``repro cache info``)."""
+    """Hit/miss counters (observable from tests and ``repro cache info``).
 
-    __slots__ = ("memory_hits", "disk_hits", "misses", "stores")
+    Besides the aggregate counters, staged lookups (through
+    :func:`memoize_stage` or a ``stage=`` argument to
+    :meth:`CompilationCache.get_or_compute`) are tallied per stage, so a
+    run can show e.g. dataset-stage hits alongside kernel-stage misses.
+    """
+
+    __slots__ = ("memory_hits", "disk_hits", "misses", "stores",
+                 "stage_hits", "stage_misses")
 
     def __init__(self) -> None:
         self.memory_hits = 0
         self.disk_hits = 0
         self.misses = 0
         self.stores = 0
+        self.stage_hits: dict[str, int] = {}
+        self.stage_misses: dict[str, int] = {}
 
     @property
     def hits(self) -> int:
         return self.memory_hits + self.disk_hits
 
-    def as_dict(self) -> dict[str, int]:
+    def record_stage(self, stage: str, hit: bool) -> None:
+        counters = self.stage_hits if hit else self.stage_misses
+        counters[stage] = counters.get(stage, 0) + 1
+
+    def stage_summary(self) -> str:
+        """``dataset 3h/0m, kernel 0h/3m`` — one clause per seen stage."""
+        stages = sorted(set(self.stage_hits) | set(self.stage_misses))
+        return ", ".join(
+            f"{s} {self.stage_hits.get(s, 0)}h/{self.stage_misses.get(s, 0)}m"
+            for s in stages
+        )
+
+    def as_dict(self) -> dict[str, Any]:
         return {
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,
             "misses": self.misses,
             "stores": self.stores,
+            "stages": {
+                stage: {
+                    "hits": self.stage_hits.get(stage, 0),
+                    "misses": self.stage_misses.get(stage, 0),
+                }
+                for stage in sorted(set(self.stage_hits)
+                                    | set(self.stage_misses))
+            },
         }
 
     def __repr__(self) -> str:
@@ -240,22 +321,27 @@ class CompilationCache:
             return disk_cache_dir()
         return Path(self._disk)
 
-    def _entry_path(self, key: str) -> Path | None:
+    def _entry_path(self, key: str, version: str | None = None) -> Path | None:
         base = self._disk_dir()
         if base is None:
             return None
-        return base / compiler_version() / key[:2] / f"{key}.pkl"
+        return base / (version or compiler_version()) / key[:2] / f"{key}.pkl"
 
     # -- core operations ----------------------------------------------------
 
-    def get(self, key: str, default: Any = None) -> Any:
-        """Look up ``key``, falling back from memory to the disk store."""
+    def get(self, key: str, default: Any = None,
+            version: str | None = None) -> Any:
+        """Look up ``key``, falling back from memory to the disk store.
+
+        ``version`` selects the on-disk version tree (stage entries live
+        under their :func:`stage_version`; default: the compiler hash).
+        """
         with self._lock:
             if key in self._memory:
                 self._memory.move_to_end(key)
                 self.stats.memory_hits += 1
                 return self._memory[key]
-        value = self._disk_get(key)
+        value = self._disk_get(key, version)
         if value is not _MISSING:
             with self._lock:
                 self.stats.disk_hits += 1
@@ -265,20 +351,29 @@ class CompilationCache:
             self.stats.misses += 1
         return default
 
-    def put(self, key: str, value: Any) -> None:
+    def put(self, key: str, value: Any, version: str | None = None) -> None:
         """Insert into the LRU and (best-effort) the disk store."""
         with self._lock:
             self.stats.stores += 1
             self._memory_put(key, value)
-        self._disk_put(key, value)
+        self._disk_put(key, value, version)
 
-    def get_or_compute(self, key: str, compute):
-        """Memoize ``compute()`` under ``key``."""
-        value = self.get(key, _MISSING)
+    def get_or_compute(self, key: str, compute, stage: str | None = None,
+                       version: str | None = None):
+        """Memoize ``compute()`` under ``key``.
+
+        ``stage`` (optional) attributes the hit or miss to a named
+        pipeline stage in :attr:`stats`; ``version`` selects the on-disk
+        version tree.
+        """
+        value = self.get(key, _MISSING, version=version)
+        if stage is not None:
+            with self._lock:
+                self.stats.record_stage(stage, hit=value is not _MISSING)
         if value is not _MISSING:
             return value
         value = compute()
-        self.put(key, value)
+        self.put(key, value, version=version)
         return value
 
     def clear_memory(self) -> None:
@@ -307,8 +402,8 @@ class CompilationCache:
 
     # -- disk layer ---------------------------------------------------------
 
-    def _disk_get(self, key: str) -> Any:
-        path = self._entry_path(key)
+    def _disk_get(self, key: str, version: str | None = None) -> Any:
+        path = self._entry_path(key, version)
         if path is None or not path.exists():
             return _MISSING
         try:
@@ -322,8 +417,8 @@ class CompilationCache:
                 pass
             return _MISSING
 
-    def _disk_put(self, key: str, value: Any) -> None:
-        path = self._entry_path(key)
+    def _disk_put(self, key: str, value: Any, version: str | None = None) -> None:
+        path = self._entry_path(key, version)
         if path is None:
             return
         try:
@@ -351,10 +446,11 @@ class CompilationCache:
     def prune(self, max_entries: int = DEFAULT_MAX_DISK_ENTRIES) -> int:
         """Bound the disk store; return the number of entries removed.
 
-        Deletes the oldest entries of the current compiler version beyond
-        ``max_entries``, and whole trees left behind by superseded
-        compiler versions (every source edit abandons the previous tree,
-        which would otherwise grow the store without bound).
+        Deletes the oldest entries beyond ``max_entries`` in each live
+        version tree (the current compiler tree and the per-stage
+        subsystem trees), and whole trees left behind by superseded
+        versions (every source edit abandons the previous tree, which
+        would otherwise grow the store without bound).
         """
         import re
         import shutil
@@ -363,30 +459,45 @@ class CompilationCache:
         if base is None:
             return 0
         current = compiler_version()
+        versions = {stage_version(stage) for stage in _STAGE_SUBSYSTEMS}
+        versions.add(current)
         removed = 0
         try:
             siblings = list(base.iterdir())
         except OSError:
             siblings = []
         for child in siblings:
-            if (child.is_dir() and child.name != current
+            if (child.is_dir() and child.name not in versions
                     and re.fullmatch(r"[0-9a-f]{16}", child.name)):
-                stale = sum(1 for _ in child.rglob("*.pkl"))
+                try:
+                    stale = sum(1 for _ in child.rglob("*.pkl"))
+                except OSError:
+                    # Another process is clearing the same stale tree.
+                    stale = 0
                 shutil.rmtree(child, ignore_errors=True)
                 removed += stale
-        version_dir = base / current
-        try:
-            entries = sorted(
-                version_dir.glob("*/*.pkl"), key=lambda p: p.stat().st_mtime
-            )
-        except OSError:
-            return removed
-        for path in entries[: max(0, len(entries) - max_entries)]:
+        # Bound every live version tree (the compiler tree and each stage
+        # tree — dataset entries are the largest in the store), oldest
+        # entries first. Concurrent shard workers share REPRO_CACHE_DIR
+        # and may remove entries (or whole trees) while we walk: a
+        # vanished file is not an error, it just no longer needs pruning.
+        for version in sorted(versions):
+            entries: list[tuple[float, Path]] = []
             try:
-                path.unlink()
-                removed += 1
+                for path in (base / version).glob("*/*.pkl"):
+                    try:
+                        entries.append((path.stat().st_mtime, path))
+                    except OSError:
+                        pass
             except OSError:
-                pass
+                continue
+            entries.sort(key=lambda e: e[0])
+            for _mtime, path in entries[: max(0, len(entries) - max_entries)]:
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
         return removed
 
     def disk_info(self) -> dict[str, Any]:
@@ -396,13 +507,15 @@ class CompilationCache:
             return {"dir": None, "entries": 0, "bytes": 0}
         entries = 0
         size = 0
-        if base.exists():
+        try:
             for path in base.rglob("*.pkl"):
                 try:
                     size += path.stat().st_size
                     entries += 1
                 except OSError:
-                    pass
+                    pass  # entry removed by a concurrent worker mid-walk
+        except OSError:
+            pass  # directory tree vanished mid-walk (concurrent clear/prune)
         return {"dir": str(base), "entries": entries, "bytes": size}
 
 
@@ -428,4 +541,31 @@ def memoize(kind: str, parts: tuple, compute, use_cache: bool | None = None):
         use_cache = cache_enabled()
     if not use_cache:
         return compute()
-    return default_cache().get_or_compute(make_key(kind, *parts), compute)
+    return default_cache().get_or_compute(make_key(kind, *parts), compute,
+                                          stage=kind)
+
+
+def memoize_stage(stage: str, parts: tuple, compute,
+                  use_cache: bool | None = None):
+    """Memoize one pipeline **stage** under its own content key.
+
+    Unlike :func:`memoize`, staged entries
+
+    * key on :func:`stage_version` — the ``dataset`` stage hashes only the
+      data/format/tensor sources, so compiler edits keep it warm;
+    * live in the disk store under their own version tree (shared by
+      every shard worker pointing at the same ``REPRO_CACHE_DIR``);
+    * honour :data:`NO_CACHE_EXEMPT_STAGES`: ``use_cache=False`` (the
+      ``--no-cache`` flag) still *reads and writes* exempt stages, so a
+      forced recompile reuses generated datasets while every compile-side
+      stage recomputes. ``REPRO_NO_CACHE=1`` disables even exempt stages.
+    """
+    if not cache_enabled():
+        return compute()
+    if use_cache is False and stage not in NO_CACHE_EXEMPT_STAGES:
+        return compute()
+    version = stage_version(stage)
+    return default_cache().get_or_compute(
+        make_key(stage, *parts, version=version), compute,
+        stage=stage, version=version,
+    )

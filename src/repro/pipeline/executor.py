@@ -86,6 +86,7 @@ def run_jobs(
     jobs: Sequence[Job],
     max_workers: int | None = None,
     kind: str = "thread",
+    on_result: Callable[[JobResult, int, int], None] | None = None,
 ) -> list[JobResult]:
     """Run ``jobs`` and return their results in submission order.
 
@@ -96,12 +97,22 @@ def run_jobs(
         kind: ``"thread"`` (default; shares the in-memory compilation
             cache) or ``"process"`` (isolated workers; jobs and results
             must be picklable).
+        on_result: progress callback, invoked from the collecting thread
+            as ``on_result(result, index, total)`` in submission order
+            (long sharded sweeps report per-job progress through this).
     """
     jobs = list(jobs)
     if max_workers is None:
         max_workers = default_jobs()
+    total = len(jobs)
+
+    def _collect(result: JobResult, index: int) -> JobResult:
+        if on_result is not None:
+            on_result(result, index, total)
+        return result
+
     if max_workers <= 1 or len(jobs) <= 1:
-        return [_run_one(job) for job in jobs]
+        return [_collect(_run_one(job), i) for i, job in enumerate(jobs)]
     if kind == "thread":
         pool_cls = ThreadPoolExecutor
     elif kind == "process":
@@ -112,4 +123,4 @@ def run_jobs(
     with pool_cls(max_workers=workers) as pool:
         futures = [pool.submit(_run_one, job) for job in jobs]
         # Collect by submission index, not completion order: deterministic.
-        return [f.result() for f in futures]
+        return [_collect(f.result(), i) for i, f in enumerate(futures)]

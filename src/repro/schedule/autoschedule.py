@@ -22,9 +22,9 @@ pattern-match is left to the default lowering, which is always correct.
 
 from __future__ import annotations
 
-from repro.core.coiteration import LoweringError, build_strategy
+from repro.core.coiteration import LoweringError
 from repro.formats.memory import MemoryRegion
-from repro.ir.cin import CinAssign, Forall, MapCall, make_concrete
+from repro.ir.cin import CinAssign, Forall
 from repro.ir.index_notation import Access, Assignment, IndexVar
 from repro.schedule.stmt import (
     BULK_TRANSFER,

@@ -16,7 +16,6 @@ from repro.ir.cin import (
     MapCall,
     SplitDown,
     SplitUp,
-    SuchThat,
     Where,
     enclosing_foralls,
     replace_stmt,
@@ -157,7 +156,6 @@ def precompute(
         )
     asg = _find_target_assign(stmt, expr)
     loops = enclosing_foralls(stmt, asg)
-    loop_vars = [f.ivar for f in loops]
     lhs_vars = set(map(id, asg.lhs.indices))
     expr_vars = set(map(id, expr.index_vars()))
     i_var_ids = set(map(id, i_vars))

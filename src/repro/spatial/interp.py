@@ -26,7 +26,6 @@ from repro.spatial.ir import (
     BitVectorOp,
     Comment,
     DenseCounter,
-    DramDecl,
     DramWrite,
     Enq,
     FifoDecl,

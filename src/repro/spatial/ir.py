@@ -17,7 +17,7 @@ This module defines the IR as plain dataclasses. Three consumers walk it:
 from __future__ import annotations
 
 import dataclasses
-from collections.abc import Iterator, Sequence
+from collections.abc import Iterator
 from typing import Optional, Union
 
 

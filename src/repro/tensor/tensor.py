@@ -25,7 +25,6 @@ from repro.ir.index_notation import (
     Access,
     Add,
     Assignment,
-    IndexExpr,
     IndexVar,
     Sub,
     to_expr,

@@ -8,7 +8,7 @@ visible directly in the benchmark log.
 from __future__ import annotations
 
 import math
-from collections.abc import Mapping, Sequence
+from collections.abc import Mapping
 
 _GLYPHS = "ox+*#@%&=~"
 

@@ -17,7 +17,6 @@ from repro import (
 )
 from repro.ir.cin import MapCall
 from repro.schedule.autoschedule import auto_schedule, detect_bulk_transfers
-from tests.helpers_kernels import build_small_kernel_stmt
 
 
 @pytest.fixture
@@ -92,7 +91,6 @@ class TestAutoSchedule:
 class TestBulkTransferDetection:
     def test_copy_loop_marked(self, rng):
         src_t = Tensor("src", (9,), DENSE_VECTOR(offChip)).from_dense(rng.random(9))
-        dst = Tensor("dst", (9,), DENSE_VECTOR(onChip))
         sink = Tensor("sink", (9,), DENSE_VECTOR(offChip))
         i, iw = index_vars("i iw")
         sink[i] = src_t[i]
@@ -156,7 +154,7 @@ class TestSplitFuseLowering:
         i, j, io, ii = index_vars("i j io ii")
         Z[i, j] = C[i, j] * 2
         stmt = Z.get_index_stmt().split_up(j, io, ii, 4)
-        kernel = compile_stmt(stmt, "split_tail")
+        compile_stmt(stmt, "split_tail")
         # ceil(5/4)*4 = 8 > 5: out-of-bounds tail iterations are a known
         # restriction (no guards in the counter model); dims that divide
         # evenly are exact.

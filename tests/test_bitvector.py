@@ -5,13 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.tensor.bitvector import (
-    INVALID,
-    BitVector,
-    gen_bitvector,
-    scan,
-    scan_count,
-)
+from repro.tensor.bitvector import INVALID, gen_bitvector, scan, scan_count
 
 
 class TestGenBitVector:

@@ -1,13 +1,12 @@
 """Unit tests for the DRAM and on-chip network models."""
 
-import math
 
 import pytest
 
 from repro.capstan import DDR4, HBM2E, IDEAL, custom_bandwidth
 from repro.capstan.arch import DEFAULT_CONFIG, CapstanConfig
 from repro.capstan.calibration import DEFAULT_COST
-from repro.capstan.dram import FIG12_BANDWIDTHS, DramModel
+from repro.capstan.dram import FIG12_BANDWIDTHS
 from repro.capstan.network import NetworkModel
 
 

@@ -1,7 +1,6 @@
 """The example scripts run to completion (their asserts are the checks)."""
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

@@ -7,12 +7,10 @@ import pytest
 from repro.core import compile_stmt
 from repro.core.coiteration import LoweringError
 from repro.formats import (
-    CSC,
     CSR,
     DENSE_VECTOR,
     Format,
     compressed,
-    dense,
     offChip,
     onChip,
 )
@@ -48,7 +46,6 @@ class TestFourDimensional:
     def test_4d_full_contraction(self, rng):
         """alpha = sum_ijkl B(i,j,k,l) * C(i,j,k,l)."""
         B, bdata = self._tensor4(rng)
-        fmt = Format([dense, compressed, compressed, compressed], None, offChip)
         cdata = (rng.random((3, 4, 5, 6)) < 0.3) * rng.random((3, 4, 5, 6))
         # Reuse B's format class for C but different occupancy.
         C = Tensor("C", (3, 4, 5, 6), Format([compressed] * 4, None, offChip))

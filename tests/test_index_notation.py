@@ -7,7 +7,6 @@ from repro.formats import CSR, DENSE_VECTOR, offChip
 from repro.ir.index_notation import (
     Access,
     Add,
-    Assignment,
     IndexVar,
     Literal,
     Mul,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.spatial.interp import InterpError, Machine, execute
+from repro.spatial.interp import InterpError, execute
 from repro.spatial.ir import (
     Assign,
     BitVectorDecl,
@@ -24,7 +24,6 @@ from repro.spatial.ir import (
     SDeq,
     SLit,
     SRead,
-    SRegRead,
     SSelect,
     SValid,
     SVar,

@@ -8,7 +8,7 @@ import pytest
 from repro.core import compile_stmt
 from repro.kernels import KERNEL_ORDER, KERNELS
 from repro.tensor import evaluate_dense, to_dense
-from tests.helpers_kernels import SMALL_DIMS, build_small_kernel_stmt
+from tests.helpers_kernels import build_small_kernel_stmt
 
 ALL_KERNELS = list(KERNEL_ORDER)
 

@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.core import compile_stmt
 from repro.tensor import evaluate_dense, to_dense
-from tests.helpers_kernels import SMALL_DIMS, build_small_kernel_stmt
+from tests.helpers_kernels import build_small_kernel_stmt
 
 
 def check(name: str, seed: int, density: float) -> None:

@@ -4,23 +4,20 @@ import pytest
 
 from repro.core import compile_stmt
 from repro.core.coiteration import LoweringError
-from repro.formats import CSR, DENSE_VECTOR, offChip, onChip
+from repro.formats import CSR, DENSE_VECTOR, offChip
 from repro.ir import index_vars
 from repro.spatial.ir import (
-    BitVectorDecl,
     BitVectorOp,
-    DramDecl,
     FifoDecl,
     Foreach,
     GenBitVector,
     LoadBulk,
-    RegDecl,
     ReducePat,
     ScanCounter,
     SramDecl,
     StreamStore,
 )
-from repro.tensor import Tensor, scalar
+from repro.tensor import Tensor
 from tests.helpers_kernels import build_small_kernel_stmt
 
 

@@ -1,10 +1,8 @@
 """Unit tests for the memory analysis (Section 6 bindings)."""
 
-import pytest
 
 from repro.core import analyze, plan_memory
 from repro.formats import MemoryType
-from repro.kernels import KERNELS
 from tests.helpers_kernels import build_small_kernel_stmt
 
 

@@ -16,6 +16,8 @@ from repro.pipeline.cache import (
     compiler_version,
     fingerprint_stmt,
     make_key,
+    memoize_stage,
+    stage_version,
 )
 from repro.pipeline.executor import Job, run_jobs
 from repro.tensor import Tensor
@@ -174,6 +176,52 @@ class TestDiskStore:
         assert removed == 4
         assert cache.disk_info()["entries"] == 2
 
+    def test_prune_tolerates_concurrently_removed_entries(self, tmp_path,
+                                                          monkeypatch):
+        from pathlib import Path
+
+        cache = CompilationCache(disk=tmp_path)
+        for n in range(4):
+            cache.put(f"{n:02d}" + "a" * 62, n)
+        victim = cache._entry_path("00" + "a" * 62)
+        real_stat = Path.stat
+
+        def racy_stat(self, *args, **kwargs):
+            if self == victim:
+                # Another shard worker unlinked this entry mid-walk.
+                raise FileNotFoundError(str(self))
+            return real_stat(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "stat", racy_stat)
+        # Must neither raise nor abort: the 3 reachable entries are
+        # considered and all but max_entries removed.
+        assert cache.prune(max_entries=1) == 2
+
+    def test_prune_bounds_stage_version_trees(self, tmp_path):
+        # Dataset-stage entries live in their own version tree; the
+        # oldest-first eviction must bound that tree too, not just the
+        # compiler tree.
+        cache = CompilationCache(disk=tmp_path)
+        dataset_tree = stage_version("dataset")
+        for n in range(5):
+            cache.put(f"{n:02d}" + "b" * 62, n, version=dataset_tree)
+        removed = cache.prune(max_entries=2)
+        assert removed == 3
+        assert sum(1 for _ in (tmp_path / dataset_tree).rglob("*.pkl")) == 2
+
+    def test_disk_info_tolerates_vanishing_tree(self, tmp_path, monkeypatch):
+        from pathlib import Path
+
+        cache = CompilationCache(disk=tmp_path)
+        cache.put("f" * 64, 1)
+
+        def racy_rglob(self, pattern):
+            raise FileNotFoundError(str(self))
+
+        monkeypatch.setattr(Path, "rglob", racy_rglob)
+        info = cache.disk_info()
+        assert info["entries"] == 0 and info["bytes"] == 0
+
     def test_prune_removes_stale_version_trees(self, tmp_path):
         stale = tmp_path / ("0" * 16) / "ab"
         stale.mkdir(parents=True)
@@ -186,6 +234,92 @@ class TestDiskStore:
         assert not stale.exists()
         assert unrelated.exists()  # non-cache content untouched
         assert cache.get("d" * 64) == 1  # current version intact
+
+
+# ---------------------------------------------------------------------------
+# Staged memoization
+# ---------------------------------------------------------------------------
+
+
+class TestStagedCache:
+    def test_stage_version_is_narrower_for_datasets(self):
+        # Dataset entries key on the data/format/tensor sources only, so
+        # compiler edits elsewhere keep them warm.
+        assert len(stage_version("dataset")) == 16
+        assert stage_version("dataset") != compiler_version()
+        assert stage_version("kernel") == compiler_version()
+
+    def test_stage_counters(self, fresh_cache):
+        memoize_stage("stats", ("k",), lambda: 1)
+        memoize_stage("stats", ("k",), lambda: 1)
+        stats = fresh_cache.stats
+        assert stats.stage_misses["stats"] == 1
+        assert stats.stage_hits["stats"] == 1
+        assert "stats 1h/1m" in stats.stage_summary()
+        assert stats.as_dict()["stages"]["stats"] == {"hits": 1, "misses": 1}
+
+    def test_no_cache_bypasses_compile_stages(self, fresh_cache):
+        calls = []
+        memoize_stage("kernel", ("k",), lambda: calls.append(1))
+        memoize_stage("kernel", ("k",), lambda: calls.append(1),
+                      use_cache=False)
+        assert len(calls) == 2  # second run recomputed
+
+    def test_no_cache_still_serves_dataset_stage(self, fresh_cache):
+        calls = []
+        memoize_stage("dataset", ("d",), lambda: (calls.append(1), 42)[1])
+        value = memoize_stage("dataset", ("d",), lambda: (calls.append(1), 42)[1],
+                              use_cache=False)
+        assert value == 42
+        assert len(calls) == 1  # exempt stage: reused despite --no-cache
+        assert fresh_cache.stats.stage_hits["dataset"] == 1
+
+    def test_repro_no_cache_env_disables_even_datasets(self, fresh_cache,
+                                                       monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        calls = []
+        memoize_stage("dataset", ("d",), lambda: calls.append(1))
+        memoize_stage("dataset", ("d",), lambda: calls.append(1))
+        assert len(calls) == 2
+
+    def test_dataset_entries_live_in_stage_version_tree(self, fresh_cache):
+        from repro.eval.harness import load_dataset_cached
+
+        load_dataset_cached("SpMV", "bcsstk30", TINY)
+        base = cache_mod.disk_cache_dir()
+        tree = base / stage_version("dataset")
+        assert any(tree.rglob("*.pkl"))
+
+    def test_no_cache_evaluation_reuses_datasets_only(self, fresh_cache):
+        # The acceptance criterion: warm the dataset stage, then force a
+        # --no-cache evaluation; the dataset stage must hit while the
+        # compile-side stages recompute (no hits recorded for them).
+        from repro.eval.harness import evaluate
+
+        warm = evaluate("SpMV", "bcsstk30", TINY)
+        stats = fresh_cache.stats
+        hits_before = dict(stats.stage_hits)
+        cold = evaluate("SpMV", "bcsstk30", TINY, use_cache=False)
+        assert cold.seconds == warm.seconds
+        assert (stats.stage_hits.get("dataset", 0)
+                == hits_before.get("dataset", 0) + 1)
+        for compile_stage in ("build", "kernel", "evaluate", "stats",
+                              "resources"):
+            assert (stats.stage_hits.get(compile_stage, 0)
+                    == hits_before.get(compile_stage, 0)), compile_stage
+
+    def test_stages_shared_across_artifacts(self, fresh_cache):
+        # Table 5's resource estimates reuse the entry the Table 6
+        # simulation wrote for the same (kernel, dataset, scale) cell.
+        from repro.eval.harness import evaluate, first_dataset
+        from repro.pipeline.batch import table5_cell
+
+        evaluate("SpMV", first_dataset("SpMV"), TINY)
+        misses_before = fresh_cache.stats.stage_misses.get("resources", 0)
+        table5_cell("SpMV", TINY)
+        assert (fresh_cache.stats.stage_misses.get("resources", 0)
+                == misses_before)
+        assert fresh_cache.stats.stage_hits.get("resources", 0) >= 1
 
 
 # ---------------------------------------------------------------------------

@@ -1,6 +1,5 @@
 """Unit tests for the host-side runner (symbol/DRAM binding, assembly)."""
 
-import numpy as np
 import pytest
 
 from repro.core import compile_stmt

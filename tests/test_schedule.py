@@ -14,7 +14,7 @@ from repro.ir import (
     strip_suchthat,
 )
 from repro.ir.cin import FuseRel, SplitDown, SplitUp
-from repro.schedule import INNER_PAR, OUTER_PAR, IndexStmt, ScheduleError
+from repro.schedule import INNER_PAR, OUTER_PAR, ScheduleError
 from repro.tensor import Tensor, scalar
 
 

@@ -7,7 +7,6 @@ results compared against the unscheduled dense reference.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -9,7 +9,6 @@ from repro.capstan import (
     CapstanSimulator,
     compute_stats,
     custom_bandwidth,
-    estimate_resources,
 )
 from repro.core import compile_stmt
 from repro.kernels import KERNEL_ORDER

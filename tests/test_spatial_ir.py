@@ -13,7 +13,6 @@ from repro.spatial.ir import (
     Enq,
     FifoDecl,
     Foreach,
-    GenBitVector,
     LoadBulk,
     MemReduce,
     RegDecl,

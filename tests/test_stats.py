@@ -5,7 +5,7 @@ import pytest
 
 from repro.capstan.stats import compute_stats
 from repro.core import compile_stmt
-from tests.helpers_kernels import build_small_kernel_stmt, make_small_tensors
+from tests.helpers_kernels import build_small_kernel_stmt
 
 
 def stats_for(name: str, density: float = 0.4, seed: int = 42):

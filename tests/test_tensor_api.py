@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 import scipy.sparse as sp
 
-from repro.formats import CSC, CSR, DENSE_VECTOR, MemoryRegion, offChip, onChip
+from repro.formats import CSC, CSR, DENSE_VECTOR, offChip, onChip
 from repro.tensor import Tensor, scalar, vector
 
 
