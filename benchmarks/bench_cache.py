@@ -22,16 +22,10 @@ from repro.pipeline.cache import CompilationCache
 SCALE = 0.1
 
 
-def _fresh_default_cache(monkeypatch, tmp_path) -> CompilationCache:
-    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
-    cache = CompilationCache()
-    monkeypatch.setattr(cache_mod, "_default_cache", cache)
-    return cache
-
-
-def test_cold_vs_warm_table6(benchmark, report, monkeypatch, tmp_path):
+def test_cold_vs_warm_table6(benchmark, report, monkeypatch, tmp_path,
+                             fresh_default_cache):
     """Cold compile-everything vs warm cache-replay wall time."""
-    _fresh_default_cache(monkeypatch, tmp_path)
+    fresh_default_cache(tmp_path)
 
     t0 = time.perf_counter()
     cold_result = table6(SCALE)

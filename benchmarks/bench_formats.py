@@ -1,0 +1,107 @@
+"""Format subsystem benchmarks: conversion staging and per-format kernels.
+
+Two questions the format abstraction subsystem raises:
+
+* how expensive is format conversion, and how much does the staged
+  ``convert`` cache buy a sweep that needs the same matrix in several
+  formats (cold synthesis vs staged replay); and
+* what does each whole-tensor format cost at kernel level — the
+  format_sweep artefact's per-format compile + simulate path.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.convert import convert, staged_matrix_storage
+from repro.data.datasets import load_matrix_coo
+from repro.formats import CSR, format_of, offChip
+from repro.tensor.storage import pack
+
+#: Matrix dataset used for the conversion benches.
+DATASET = "Trefethen_20000"
+
+#: Dataset scale for the conversion benches (conversion cost is linear in
+#: nnz, so a modest scale tracks the trend without minutes of runtime).
+CONV_SCALE = 0.25
+
+#: Formats the staging bench sweeps (the format_sweep operand formats).
+FORMATS = ("coo", "dcsr", "bcsr")
+
+
+def test_cold_vs_staged_conversion(benchmark, report, tmp_path,
+                                   fresh_default_cache):
+    """Cold plan synthesis + execution vs staged-cache replay per format."""
+    fresh_default_cache(tmp_path)
+
+    dims, coords, vals = load_matrix_coo(DATASET, CONV_SCALE, 7)
+    base = pack(coords, vals, dims, CSR(offChip))
+
+    cold: dict[str, float] = {}
+    for name in FORMATS:
+        t0 = time.perf_counter()
+        convert(base, format_of(name))
+        cold[name] = time.perf_counter() - t0
+
+    # First staged call converts and stores; the second replays the cache.
+    for name in FORMATS:
+        staged_matrix_storage(DATASET, CONV_SCALE, 7, name)
+    staged: dict[str, float] = {}
+    for name in FORMATS:
+        t0 = time.perf_counter()
+        staged_matrix_storage(DATASET, CONV_SCALE, 7, name)
+        staged[name] = time.perf_counter() - t0
+
+    benchmark.pedantic(
+        staged_matrix_storage, args=(DATASET, CONV_SCALE, 7, "coo"),
+        rounds=3, iterations=1,
+    )
+
+    lines = [f"{'format':8s}{'cold':>12s}{'staged':>12s}{'speedup':>9s}"]
+    for name in FORMATS:
+        ratio = cold[name] / staged[name] if staged[name] else float("inf")
+        lines.append(
+            f"{name:8s}{cold[name] * 1e3:10.2f}ms"
+            f"{staged[name] * 1e3:10.2f}ms{ratio:8.1f}x"
+        )
+    report(
+        f"conversion staging ({DATASET}, scale {CONV_SCALE}, nnz={base.nnz})",
+        "\n".join(lines),
+    )
+    for name in FORMATS:
+        assert staged[name] <= cold[name] * 5  # replay never regresses much
+
+
+def test_per_format_kernel_throughput(benchmark, report, tmp_path,
+                                      fresh_default_cache):
+    """The format_sweep cells: per-format compile + simulate cost and the
+    predicted kernel runtime each format achieves."""
+    from repro.eval.harness import FORMAT_SWEEP_KERNELS
+    from repro.pipeline.batch import format_sweep_cell
+
+    fresh_default_cache(tmp_path)
+    scale = 0.05
+    dataset = "Trefethen_20000"
+
+    rows = []
+    for kernel in FORMAT_SWEEP_KERNELS:
+        t0 = time.perf_counter()
+        cell = format_sweep_cell(kernel, dataset, scale)
+        build = time.perf_counter() - t0
+        rows.append((kernel, cell, build))
+
+    benchmark.pedantic(
+        format_sweep_cell, args=("SpMV", dataset, scale),
+        rounds=3, iterations=1,
+    )
+
+    lines = [f"{'kernel':12s}{'nnz':>9s}{'KiB':>9s}{'us':>10s}{'build':>10s}"]
+    for kernel, cell, build in rows:
+        lines.append(
+            f"{kernel:12s}{cell['nnz']:9d}"
+            f"{cell['storage_bytes'] / 1024:9.1f}"
+            f"{cell['seconds'] * 1e6:10.2f}{build * 1e3:8.1f}ms"
+        )
+    report(f"per-format kernel cost ({dataset}, scale {scale})",
+           "\n".join(lines))
+    assert all(cell["seconds"] > 0 for _, cell, _ in rows)

@@ -19,21 +19,13 @@ import time
 from benchmarks.conftest import TINY
 
 from repro.eval.harness import evaluate, table6
-from repro.pipeline import cache as cache_mod
-from repro.pipeline.cache import CompilationCache
 from repro.pipeline.shard import ShardSpec, merge_manifests, run_shard
 
 
-def _fresh_default_cache(monkeypatch, tmp_path) -> CompilationCache:
-    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
-    cache = CompilationCache()
-    monkeypatch.setattr(cache_mod, "_default_cache", cache)
-    return cache
-
-
-def test_shard_merge_vs_serial(benchmark, report, monkeypatch, tmp_path):
+def test_shard_merge_vs_serial(benchmark, report, tmp_path,
+                               fresh_default_cache):
     """3-way shard + merge against the serial table6 run."""
-    _fresh_default_cache(monkeypatch, tmp_path)
+    fresh_default_cache(tmp_path)
 
     t0 = time.perf_counter()
     serial = table6(TINY, use_cache=False)
@@ -44,7 +36,7 @@ def test_shard_merge_vs_serial(benchmark, report, monkeypatch, tmp_path):
     t0 = time.perf_counter()
     manifests = []
     for i in (1, 2, 3):
-        _fresh_default_cache(monkeypatch, tmp_path / f"host{i}")
+        fresh_default_cache(tmp_path / f"host{i}")
         manifests.append(run_shard("table6", TINY, ShardSpec(i, 3),
                                    use_cache=False))
     merged = merge_manifests(manifests)
@@ -69,18 +61,18 @@ def test_shard_merge_vs_serial(benchmark, report, monkeypatch, tmp_path):
     assert remerged.data == serial
 
 
-def test_no_cache_with_warm_datasets(benchmark, report, monkeypatch,
-                                     tmp_path):
+def test_no_cache_with_warm_datasets(benchmark, report, tmp_path,
+                                     fresh_default_cache):
     """--no-cache recompute: cold vs dataset-stage-warm."""
     cell = ("SpMV", "bcsstk30")
 
-    _fresh_default_cache(monkeypatch, tmp_path / "cold")
+    fresh_default_cache(tmp_path / "cold")
     t0 = time.perf_counter()
     cold_result = evaluate(*cell, TINY, use_cache=False)
     cold = time.perf_counter() - t0
 
     # Warm the dataset stage only (a prior cached run), then recompute.
-    cache = _fresh_default_cache(monkeypatch, tmp_path / "warm")
+    cache = fresh_default_cache(tmp_path / "warm")
     evaluate(*cell, TINY)
     t0 = time.perf_counter()
     warm_result = evaluate(*cell, TINY, use_cache=False)

@@ -49,6 +49,26 @@ def scale() -> float:
 
 
 @pytest.fixture
+def fresh_default_cache(monkeypatch):
+    """Factory swapping in a fresh default cache rooted under a path.
+
+    Shared by the cache/shard/format benches so cold-vs-warm comparisons
+    all isolate the process-wide cache the same way; call it once per
+    simulated process/host: ``fresh_default_cache(tmp_path / "host1")``.
+    """
+    from repro.pipeline import cache as cache_mod
+    from repro.pipeline.cache import CompilationCache
+
+    def _make(path) -> CompilationCache:
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(path / "cache"))
+        cache = CompilationCache()
+        monkeypatch.setattr(cache_mod, "_default_cache", cache)
+        return cache
+
+    return _make
+
+
+@pytest.fixture
 def report(capsys):
     """Print a regenerated artefact past pytest's output capture, so the
     tables and figures appear in the benchmark log for passing runs."""

@@ -25,8 +25,9 @@ from tests.helpers_kernels import build_small_kernel_stmt
 
 GOLDEN = REPO / "tests" / "golden"
 
-#: Kernels with Spatial golden snapshots.
-SPATIAL_KERNELS = ("SpMV", "SDDMM", "Plus3")
+#: Kernels with Spatial golden snapshots. COO-SpMV and BCSR-SpMV pin the
+#: singleton-scanner and static-block code shapes of the format subsystem.
+SPATIAL_KERNELS = ("SpMV", "SDDMM", "Plus3", "COO-SpMV", "BCSR-SpMV")
 
 
 def regenerate() -> list[Path]:

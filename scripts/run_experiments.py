@@ -37,7 +37,8 @@ TINY = 0.02
 #: (artefact, scale attribute) pairs in regeneration order.
 def _artifact_scales(scale: float) -> list[tuple[str, float]]:
     return [("table3", TINY), ("table5", TINY),
-            ("table6", scale), ("figure12", scale)]
+            ("table6", scale), ("figure12", scale),
+            ("format_sweep", scale)]
 
 
 def _run_shard(args, use_cache) -> int:
@@ -82,7 +83,7 @@ def main() -> int:
     t0 = time.time()
     structural = run_batch(["table3", "table5"], TINY,
                            jobs=args.jobs, use_cache=use_cache)
-    scaled = run_batch(["table6", "figure12"], args.scale,
+    scaled = run_batch(["table6", "figure12", "format_sweep"], args.scale,
                        jobs=args.jobs, use_cache=use_cache)
 
     failures = structural.failures + scaled.failures
@@ -93,7 +94,8 @@ def main() -> int:
                  for run in (structural, scaled)
                  for name, text in run.texts.items()}
     for name, text in artefacts.items():
-        at = args.scale if name.startswith(("table6", "figure")) else TINY
+        at = (args.scale if name.startswith(("table6", "figure", "format"))
+              else TINY)
         (OUT / name).write_text(text + "\n")
         print(f"\n##### {name} (scale={at})")
         print(text)

@@ -15,6 +15,12 @@ Subcommands:
   artefact's job list and writes a shard manifest instead.
 * ``merge``    — validate shard manifests and fold them into the full
   artefact, byte-identical to the serial ``tables`` output.
+* ``formats``  — list the registered whole-tensor formats with their
+  level kinds, mode ordering, and memory region (``--json`` for a
+  machine-readable dump).
+* ``convert``  — synthesize and run a format-conversion plan between two
+  registered formats on a matrix dataset (the ``repro.convert``
+  conversion compiler).
 * ``cache``    — inspect or clear the on-disk compilation cache.
 """
 
@@ -31,10 +37,10 @@ def _use_cache(args) -> bool | None:
 
 def _cmd_kernels(_args) -> int:
     from repro.data import datasets_for
-    from repro.kernels import KERNEL_ORDER, KERNELS
+    from repro.kernels import FORMAT_KERNEL_ORDER, KERNEL_ORDER, KERNELS
 
     print(f"{'kernel':14s}{'expression':50s}datasets")
-    for name in KERNEL_ORDER:
+    for name in (*KERNEL_ORDER, *FORMAT_KERNEL_ORDER):
         spec = KERNELS[name]
         ds = ", ".join(d.name for d in datasets_for(name))
         print(f"{name:14s}{spec.expression:50s}{ds}")
@@ -89,8 +95,105 @@ def _cmd_tables(args) -> int:
         print(harness.format_figure12(
             harness.figure12(args.scale, jobs=args.jobs,
                              use_cache=use_cache)))
+    elif artefact == "format_sweep":
+        print(harness.format_format_sweep(
+            harness.format_sweep(args.scale, jobs=args.jobs,
+                                 use_cache=use_cache)))
     else:  # pragma: no cover - argparse restricts choices
         return 2
+    return 0
+
+
+def _cmd_formats(args) -> int:
+    import json
+
+    from repro.formats import offChip, registered_formats
+
+    specs = registered_formats()
+    if args.json:
+        payload = []
+        for name in sorted(specs):
+            fmt = specs[name].instantiate(offChip)
+            levels = []
+            for mf in fmt.mode_formats:
+                entry = {"kind": mf.kind.value, **mf.properties()}
+                if mf.size is not None:
+                    entry["size"] = mf.size
+                levels.append(entry)
+            payload.append({
+                "name": name,
+                "description": specs[name].description,
+                "order": fmt.order,
+                "levels": levels,
+                "mode_ordering": list(fmt.mode_ordering),
+                "memory": str(fmt.memory),
+            })
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"{'name':11s}{'order':>5s}  {'levels':48s}{'ordering':10s}"
+          f"{'memory':9s}description")
+    for name in sorted(specs):
+        fmt = specs[name].instantiate(offChip)
+        levels = ", ".join(str(mf) for mf in fmt.mode_formats)
+        ordering = ",".join(map(str, fmt.mode_ordering))
+        print(f"{name:11s}{fmt.order:5d}  {levels:48s}{ordering:10s}"
+              f"{str(fmt.memory):9s}{specs[name].description}")
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    import time
+
+    import numpy as np
+
+    from repro.convert import ConversionError, plan_conversion
+    from repro.data.datasets import load_matrix_coo
+    from repro.formats import CSR, format_of, offChip
+    from repro.tensor.storage import pack, to_dense
+
+    use_cache = _use_cache(args)
+    try:
+        src_fmt = format_of(args.source)
+        dst_fmt = format_of(args.target)
+    except KeyError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.plan:
+        # The plan is a function of the two formats alone; skip dataset
+        # generation entirely.
+        try:
+            print(plan_conversion(src_fmt, dst_fmt).describe())
+        except ConversionError as exc:
+            print(f"conversion error: {exc}", file=sys.stderr)
+            return 1
+        return 0
+    dims, coords, vals = load_matrix_coo(args.dataset, args.scale, args.seed,
+                                         use_cache=use_cache)
+    base = pack(coords, vals, dims, CSR(offChip))
+    try:
+        to_src = plan_conversion(base.fmt, src_fmt, dims)
+        source = to_src.run(base) if args.source != "csr" else base
+        plan = plan_conversion(source.fmt, dst_fmt,
+                               dims if dst_fmt.order == len(dims) else None)
+    except ConversionError as exc:
+        print(f"conversion error: {exc}", file=sys.stderr)
+        return 1
+    print(plan.describe())
+    start = time.perf_counter()
+    converted = plan.run(source)
+    seconds = time.perf_counter() - start
+    print(f"{args.dataset} (scale {args.scale}): "
+          f"{source.nnz} stored -> {converted.nnz} stored, "
+          f"{source.bytes_total() / 1024:.1f} KiB -> "
+          f"{converted.bytes_total() / 1024:.1f} KiB in {seconds * 1e3:.2f} ms")
+    if args.verify:
+        # Convert back to the source format and compare densified values.
+        back = plan_conversion(converted.fmt, source.fmt, dims).run(converted)
+        if np.allclose(to_dense(back), to_dense(source)):
+            print("verify: dense round-trip matches")
+        else:
+            print("verify: MISMATCH", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -261,7 +364,8 @@ def main(argv: list[str] | None = None) -> int:
 
     p_tab = sub.add_parser("tables", help="regenerate a table/figure")
     p_tab.add_argument("artifact",
-                       choices=["table3", "table5", "table6", "figure12"])
+                       choices=["table3", "table5", "table6", "figure12",
+                                "format_sweep"])
     p_tab.add_argument("--scale", type=float, default=0.25)
     p_tab.add_argument("--jobs", type=int, default=None,
                        help="parallel worker count (default: REPRO_JOBS or 1)")
@@ -272,7 +376,8 @@ def main(argv: list[str] | None = None) -> int:
         "batch", help="regenerate several artefacts as one parallel batch")
     p_batch.add_argument(
         "artifacts", nargs="+",
-        choices=["table3", "table5", "table6", "figure12", "all"])
+        choices=["table3", "table5", "table6", "figure12", "format_sweep",
+                 "all"])
     p_batch.add_argument("--scale", type=float, default=0.25)
     p_batch.add_argument("--jobs", type=int, default=None,
                          help="parallel worker count (default: REPRO_JOBS or 1)")
@@ -303,6 +408,27 @@ def main(argv: list[str] | None = None) -> int:
                               "compiler version (hashes must still agree "
                               "between shards)")
 
+    p_formats = sub.add_parser(
+        "formats", help="list registered whole-tensor formats")
+    p_formats.add_argument("--json", action="store_true",
+                           help="machine-readable JSON output")
+
+    p_conv = sub.add_parser(
+        "convert", help="convert a matrix dataset between formats")
+    p_conv.add_argument("source", help="source format name (see `formats`)")
+    p_conv.add_argument("target", help="target format name (see `formats`)")
+    p_conv.add_argument("--dataset", default="Trefethen_20000",
+                        help="matrix dataset name (default: Trefethen_20000)")
+    p_conv.add_argument("--scale", type=float, default=0.05)
+    p_conv.add_argument("--seed", type=int, default=7)
+    p_conv.add_argument("--plan", action="store_true",
+                        help="print the synthesized plan without running it")
+    p_conv.add_argument("--verify", action="store_true",
+                        help="round-trip back to the source format and "
+                             "check dense equality")
+    p_conv.add_argument("--no-cache", action="store_true",
+                        help="bypass the dataset/conversion cache")
+
     p_cache = sub.add_parser("cache", help="inspect or clear the cache")
     p_cache.add_argument("action", choices=["info", "clear"])
 
@@ -320,6 +446,8 @@ def main(argv: list[str] | None = None) -> int:
         "tables": _cmd_tables,
         "batch": _cmd_batch,
         "merge": _cmd_merge,
+        "formats": _cmd_formats,
+        "convert": _cmd_convert,
         "cache": _cmd_cache,
     }
     return handlers[args.command](args)

@@ -39,7 +39,7 @@ from repro.ir.cin import (
 )
 from repro.ir.index_notation import Add, IndexExpr, Mul, Neg, Sub
 from repro.tensor.bitvector import WORD_BITS
-from repro.tensor.storage import CompressedLevel, unpack
+from repro.tensor.storage import CompressedLevel, SingletonLevel, unpack
 from repro.tensor.tensor import Tensor
 
 WORD_BYTES = 4
@@ -241,10 +241,21 @@ class StatsBuilder:
         if kind == "dense":
             trip = self.dim_of(forall.ivar)
             iters = launches * trip
+        elif kind == "singleton":
+            # One stored coordinate per parent position: the loop body runs
+            # exactly once per launch (the crd array itself is a staged
+            # whole-array transfer, accounted statically).
+            iters = launches
         elif kind == "compressed":
             it = strategy.driving[0]
             keys = self._operand_keys(it, it.level)
-            iters = len(keys)
+            if not it.level_format.unique and not it.tensor.is_on_chip:
+                # Non-unique (COO root) levels store one position per
+                # entry; unique prefix keys undercount the traversal.
+                lvl = self.tensor_of(it.tensor).storage.levels[it.level]
+                iters = int(getattr(lvl, "nnz", len(keys)))
+            else:
+                iters = len(keys)
             # Segment transfers: crd (+vals at innermost level) stream once.
             self._add_segment_traffic(it, iters, launches)
         else:  # scan
@@ -319,7 +330,7 @@ class StatsBuilder:
         bytes_ = elements * WORD_BYTES
         self.stats.dram_read_bytes += bytes_  # crd
         self.stats.dram_bursts += 1
-        if it.level + 1 == it.tensor.format.order:
+        if it.tensor.format.streams_vals_at(it.level):
             vb = self.plan.get(it.tensor.name, "vals")
             if vb is not None and not vb.staged_full:
                 self.stats.dram_read_bytes += bytes_  # vals
@@ -348,6 +359,10 @@ class StatsBuilder:
             for level, lvl in enumerate(storage.levels):
                 if isinstance(lvl, CompressedLevel):
                     self.stats.dram_read_bytes += len(lvl.pos) * WORD_BYTES
+                    self.stats.dram_bursts += 1
+                elif isinstance(lvl, SingletonLevel):
+                    # Singleton crd arrays stage whole, like pos arrays.
+                    self.stats.dram_read_bytes += len(lvl.crd) * WORD_BYTES
                     self.stats.dram_bursts += 1
             vb = self.plan.get(t.name, "vals")
             if vb is None:

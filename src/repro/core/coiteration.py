@@ -59,7 +59,7 @@ class LevelIterator:
 
     @property
     def symbol(self) -> str:
-        """Figure 10 iterator-format symbol (U, C, or B)."""
+        """Figure 10 iterator-format symbol (U, C, B, or S)."""
         if self.tensor.is_on_chip and self.level_format.is_compressed:
             # On-chip workspaces keep compressed structure as bit vectors.
             return "B"
@@ -137,8 +137,9 @@ class IterationStrategy:
     Attributes:
         ivar: the forall variable.
         kind: ``dense`` (counter loop over the universe), ``compressed``
-            (single compressed iterator), or ``scan`` (bit-vector
-            co-iteration of two sparse operands).
+            (single compressed iterator), ``singleton`` (one coordinate
+            derived positionally from the parent level), or ``scan``
+            (bit-vector co-iteration of two sparse operands).
         driving: the compressed/bit-vector iterators that drive iteration
             (empty for dense; one for compressed; two for scan).
         located: dense-level accesses resolved by coordinate (random access
@@ -218,6 +219,32 @@ def build_strategy(
     leaves = term.leaves()
     universes = tuple(l for l in leaves if l.symbol == "U")
     sparse = tuple(l for l in leaves if l.symbol in ("C", "B"))
+    singles = tuple(l for l in leaves if l.symbol == "S")
+
+    # -- Singleton rule: S ∩ U => S (bind the parent's coordinate) ---------------
+    if singles:
+        if len(singles) > 1 or sparse:
+            raise LoweringError(
+                f"forall {ivar.name} co-iterates a singleton level with "
+                f"other sparse operands ({term}); singleton levels derive "
+                f"one coordinate per parent position and cannot drive "
+                f"Capstan scanners. Convert the operands to compressed "
+                f"formats (repro convert) or reshape the computation."
+            )
+        if _has_union(term):
+            raise LoweringError(
+                f"forall {ivar.name} unions a singleton level with the "
+                f"universe ({term}); COO-style levels only support "
+                f"intersection (multiplication) with dense operands."
+            )
+        it = singles[0]
+        if universes:
+            trace.append("lowerIter[S1 ∩ U] => lowerIter(S1) (locate U)")
+        trace.append("lowerIter[S1] => emit Singleton(crd(parent pos)) bind")
+        return IterationStrategy(
+            ivar, "singleton", (it,), universes, None, result_iterator,
+            tuple(trace),
+        )
 
     # -- Universe rules: U ∪ _ => U ; U ∩ U => U --------------------------------
     if not sparse:
@@ -270,6 +297,14 @@ def build_strategy(
         f"({term}); Capstan scanners combine at most two. Reshape the "
         "computation with precompute into iterated two-input contractions."
     )
+
+
+def _has_union(term: IterTerm) -> bool:
+    if term.op is None:
+        return False
+    if term.op == "union":
+        return True
+    return _has_union(term.a) or _has_union(term.b)
 
 
 def _has_union_with_universe(term: IterTerm) -> bool:

@@ -73,6 +73,7 @@ from repro.spatial.ir import (
     ScanCounter,
     SDeq,
     SExpr,
+    SingletonCounter,
     SLit,
     SRead,
     SRegRead,
@@ -124,6 +125,23 @@ class Lowerer:
         self._declared: set[str] = set()
         self._dense_out_full = False
         self._dim_symbol_cache: dict[int, str] = {}
+        # Non-unique driving levels (COO roots) repeat output coordinates,
+        # so dense outputs must scatter-accumulate instead of streaming.
+        self._scatter_out = self._output_scatters()
+
+    def _output_scatters(self) -> bool:
+        """True when the dense output's coordinates may repeat (COO-style
+        non-unique driving levels), forcing scatter accumulation."""
+        out = self.analysis.output
+        if out.is_on_chip or out.order == 0 or not out.format.is_all_dense:
+            return False
+        for info in self.analysis.foralls:
+            st = info.strategy
+            if st.result_iterator is None or st.result_iterator.tensor is not out:
+                continue
+            if any(not it.level_format.unique for it in st.driving):
+                return True
+        return False
 
     # -- small helpers --------------------------------------------------------
 
@@ -197,9 +215,13 @@ class Lowerer:
         if level < 0:
             return SLit(1)
         fmt = tensor.format
-        if fmt.level_format(level).is_dense:
+        lf = fmt.level_format(level)
+        if lf.is_dense:
             parent = self._level_count_expr(tensor, level - 1)
             return smul(parent, self.dim_symbol(tensor, level))
+        if lf.is_singleton:
+            # One child per parent position: the count passes through.
+            return self._level_count_expr(tensor, level - 1)
         return self.nnz_symbol(tensor, level)
 
     def declare_tensor_dram(self, tensor, is_output: bool) -> None:
@@ -217,7 +239,16 @@ class Lowerer:
             return
         fmt = tensor.format
         for level in range(fmt.order):
-            if not fmt.level_format(level).is_compressed:
+            lf = fmt.level_format(level)
+            if lf.is_singleton:
+                crd_dram = self.dram_name(self.crd_name(tensor, level))
+                self.dram.append(
+                    DramDecl(crd_dram, self._level_count_expr(tensor, level),
+                             tensor.name, f"crd{level}")
+                )
+                layout.arrays[f"crd{level}"] = crd_dram
+                continue
+            if not lf.is_compressed:
                 continue
             parent = self._level_count_expr(tensor, level - 1)
             pos_dram = self.dram_name(self.pos_name(tensor, level))
@@ -243,6 +274,12 @@ class Lowerer:
 
     def lower(self) -> SpatialProgram:
         out = self.analysis.output
+        if not out.is_on_chip and out.format.has_singleton_level:
+            raise LoweringError(
+                f"output {out.name} uses a singleton (COO-style) format; "
+                "assembling COO outputs on the accelerator is not "
+                "supported — give the result a compressed or dense format"
+            )
         self.declare_tensor_dram(out, is_output=True)
         for t in self.analysis.inputs:
             self.declare_tensor_dram(t, is_output=False)
@@ -282,6 +319,18 @@ class Lowerer:
                 continue
             fmt = tensor.format
             for level in range(fmt.order):
+                if (fmt.level_format(level).is_singleton
+                        and self.plan.get(tensor.name, f"crd{level}")
+                        is not None):
+                    # Singleton coordinates are read by parent position
+                    # (affine): stage the whole crd array like a pos array.
+                    name = self.crd_name(tensor, level)
+                    size = self._level_count_expr(tensor, level)
+                    self.emit(SramDecl(name, size))
+                    self.emit(LoadBulk(name, self.dram_name(name), SLit(0),
+                                       size, par=ip))
+                    self._declared.add(name)
+                    continue
                 if self.plan.get(tensor.name, f"pos{level}") is None:
                     continue
                 name = self.pos_name(tensor, level)
@@ -310,7 +359,8 @@ class Lowerer:
                 self._declared.add(name)
         if out.order == 0:
             self._declare_reg(f"{out.name}_reg")
-        if out.order == 1 and out.format.is_all_dense:
+        if (out.order == 1 and out.format.is_all_dense
+                and not self._scatter_out):
             name = self.vals_name(out)
             self.emit(FifoDecl(name, FIFO_DEPTH))
             self._declared.add(name)
@@ -344,14 +394,16 @@ class Lowerer:
             name = self.pos_name(out, level)
             size = sadd(self._out_count_expr(level - 1), SLit(1))
             self.emit(StoreBulk(self.dram_name(name), name, SLit(0), size, par=ip))
-        if out.order == 1 and fmt.is_all_dense:
-            self.emit(StreamStore(self.dram_name(self.vals_name(out)),
-                                  self.vals_name(out), SLit(0),
-                                  self.dim_symbol(out, 0)))
-        elif self._dense_out_full:
+        if self._dense_out_full:
+            # Scatter-accumulated (or derived-variable) outputs bulk-store
+            # the whole buffer once at kernel end.
             size = self._out_count_expr(fmt.order - 1)
             self.emit(StoreBulk(self.dram_name(self.vals_name(out)),
                                 self.vals_name(out), SLit(0), size, par=ip))
+        elif out.order == 1 and fmt.is_all_dense:
+            self.emit(StreamStore(self.dram_name(self.vals_name(out)),
+                                  self.vals_name(out), SLit(0),
+                                  self.dim_symbol(out, 0)))
 
     # -- recursive statement lowering ---------------------------------------------
 
@@ -448,6 +500,8 @@ class Lowerer:
             self._lower_dense_loop(forall, info, par, reduce_into)
         elif kind == "compressed":
             self._lower_compressed_loop(forall, info, par, reduce_into)
+        elif kind == "singleton":
+            self._lower_singleton_loop(forall, info, reduce_into)
         elif kind == "scan":
             self._lower_scan_loop(forall, info, par, reduce_into)
         else:  # pragma: no cover - defensive
@@ -468,7 +522,8 @@ class Lowerer:
         result_it = strategy.result_iterator
 
         out_var = None
-        if out.order == 1 and out.format.is_all_dense and not out.is_on_chip:
+        if (out.order == 1 and out.format.is_all_dense
+                and not out.is_on_chip and not self._scatter_out):
             for asg in self.analysis.assignments:
                 if asg.lhs.tensor is out:
                     out_var = asg.lhs.indices[0]
@@ -543,10 +598,27 @@ class Lowerer:
                         self.coord[id(rel.inner)] = SBin("%", fused, inner_trip)
                         changed = True
 
+    def _static_extent(self, ivar: IndexVar) -> Optional[int]:
+        """Compile-time extent for variables bound to fixed-size block
+        levels (the trip count is a literal, not a host symbol)."""
+        for asg in self.analysis.assignments:
+            for acc in (asg.lhs, *asg.rhs.accesses()):
+                mode = acc.mode_of(ivar)
+                if mode is None:
+                    continue
+                fmt = acc.tensor.format
+                lf = fmt.level_format(fmt.level_of_mode(mode))
+                if lf.is_block:
+                    return int(lf.size)
+        return None
+
     def _dense_trip_count(self, ivar: IndexVar) -> SExpr:
         prov = self.analysis.provenance
         rel = prov.recombine(ivar)
         if rel is None:
+            static = self._static_extent(ivar)
+            if static is not None:
+                return SLit(static)
             return self.ivar_dim(ivar)
         relation, role = rel
         if isinstance(relation, SplitUp):
@@ -707,7 +779,7 @@ class Lowerer:
         tensor = it.tensor
         self._stage_slices_for_depth(info.depth)
         start, end, seg_len = self._segment(it)
-        want_vals = self._is_innermost_level(tensor, it.level)
+        want_vals = tensor.format.streams_vals_at(it.level)
         crd_mem, vals_mem = self._load_segment_stream(it, start, end, want_vals)
         out_state = self._begin_output_level(info)
 
@@ -753,6 +825,59 @@ class Lowerer:
             self.emit(ReducePat(reduce_into, DenseCounter(seg_len), (idx,),
                                 tuple(body), value, "+", par=par))
         self._end_output_level(out_state, seg_len)
+
+    # .. singleton (one coordinate per parent position) ............................
+
+    def _lower_singleton_loop(self, forall, info, reduce_into) -> None:
+        """Lower a singleton-level forall (COO column/tail levels).
+
+        No counter loop runs: the ``Singleton`` scanner yields the one
+        coordinate stored at the parent's position, and the position
+        passes through unchanged (1:1 with the parent level).
+        """
+        ivar = forall.ivar
+        it = info.strategy.driving[0]
+        tensor = it.tensor
+        self._stage_slices_for_depth(info.depth)
+        parent = self._parent_position(it)
+        counter = SingletonCounter(self.crd_name(tensor, it.level), parent)
+        idx = ivar.name
+
+        body: list[SStmt] = []
+        self._body_stack.append(body)
+        self.coord[id(ivar)] = SVar(idx)
+        self.position[(id(tensor), it.level)] = parent
+        if (self.value_of.get(id(tensor)) is None
+                and self._is_innermost_level(tensor, it.level)):
+            # Parent loops normally hoist the value stream; fall back to a
+            # positional read when the values sit in random-access SRAM.
+            vb = self.plan.get(tensor.name, "vals")
+            if vb is not None and vb.memory in (MemoryType.SRAM_DENSE,
+                                                MemoryType.SRAM_SPARSE):
+                self.value_of[id(tensor)] = SRead(self.vals_name(tensor),
+                                                  parent)
+        for located in info.strategy.located:
+            self._bind_dense_position(located, SVar(idx))
+        result_it = info.strategy.result_iterator
+        row = None
+        if result_it is not None:
+            if not result_it.level_format.is_dense:
+                raise LoweringError(
+                    "singleton loops cannot produce compressed output levels"
+                )
+            self._bind_output_dense(result_it, SVar(idx))
+            row = self._stage_output_row(result_it.level)
+        if reduce_into is None:
+            self.lower_stmt(forall.body)
+            if row is not None:
+                self._store_output_row(result_it.level, row)
+            self._body_stack.pop()
+            self.emit(Foreach(counter, (idx,), tuple(body), par=1))
+        else:
+            value = self._reduce_value(forall.body)
+            self._body_stack.pop()
+            self.emit(ReducePat(reduce_into, counter, (idx,), tuple(body),
+                                value, "+", par=1))
 
     # .. scans (co-iteration) ......................................................
 
@@ -994,6 +1119,11 @@ class Lowerer:
         if fmt.level_format(inner_level).is_compressed:
             self.emit(Enq(self.vals_name(out), value))
             return
+        if self._scatter_out:
+            # Non-unique (COO) driving levels revisit output coordinates:
+            # accumulate into the whole-tensor buffer, stored at the end.
+            self._assign_dense_full(asg, out, fmt, value)
+            return
         if out.order == 1 and fmt.is_all_dense:
             # Per-element register, enqueued once per outer iteration (the
             # enclosing dense loop emits the enq).
@@ -1013,6 +1143,10 @@ class Lowerer:
             return
         # Fallback (derived loop variables, fused outputs): a whole-tensor
         # buffer written at the flattened coordinate, bulk-stored at the end.
+        self._assign_dense_full(asg, out, fmt, value)
+
+    def _assign_dense_full(self, asg: CinAssign, out, fmt, value: SExpr) -> None:
+        """Write a dense output through a whole-tensor on-chip buffer."""
         full = self.vals_name(out)
         if full not in self._declared:
             size = self._out_count_expr(fmt.order - 1)
@@ -1065,6 +1199,16 @@ class Lowerer:
                 raise LoweringError(f"coordinate for {tensor.name} slice unbound")
             return SRead(name, coord)
         if vb.staged_full:
+            if fmt.has_compressed_level:
+                # Sparse tensors with trailing block/dense levels address
+                # values by storage position, not by affine coordinates.
+                pos = self.position.get((id(tensor), fmt.order - 1))
+                if pos is None:
+                    raise LoweringError(
+                        f"positional access to {tensor.name} values before "
+                        f"its innermost position is bound"
+                    )
+                return SRead(name, pos)
             addr: SExpr = SLit(0)
             for level in range(fmt.order):
                 mode = fmt.mode_of_level(level)

@@ -298,6 +298,16 @@ def _plan_access(
         lf = fmt.level_format(L)
         v = level_vars[L]
         strategy = analysis.strategy(v)
+        if lf.is_singleton:
+            # One coordinate per parent position, read at the parent's
+            # (monotone) position: affine access -> dense SRAM, staged at
+            # kernel start alongside the pos arrays.
+            _add(plan, ArrayBinding(
+                name, f"crd{L}", MemoryType.SRAM_DENSE, 0,
+                "singleton coordinates read by parent position (affine) "
+                "-> dense SRAM",
+            ))
+            continue
         if not lf.is_compressed:
             continue
         d = level_depths[L]
@@ -363,6 +373,15 @@ def _plan_access(
         ))
         return
 
+    if inner_fmt.is_singleton:
+        # Values align 1:1 with the parent compressed level's positions
+        # and stream through its traversal in order (the COO layout).
+        _add(plan, ArrayBinding(
+            name, "vals", MemoryType.FIFO, vals_depth,
+            "values consumed in order through singleton positions -> FIFO",
+        ))
+        return
+
     if inner_fmt.is_compressed:
         in_scan = strategy.kind == "scan" and any(
             it.tensor is tensor for it in strategy.driving
@@ -378,6 +397,18 @@ def _plan_access(
                 name, "vals", MemoryType.FIFO, vals_depth,
                 "values consumed in order at the innermost mode -> FIFO",
             ))
+        return
+
+    if fmt.has_compressed_level:
+        # Trailing block/dense levels under a compressed level (BCSR):
+        # values are addressed by storage position, not affine coordinates,
+        # so the whole array stages once and reads positionally.
+        _add(plan, ArrayBinding(
+            name, "vals", MemoryType.SRAM_DENSE, 0,
+            "positional values of a sparse tensor with trailing "
+            "block/dense levels: whole array staged once",
+            staged_full=True,
+        ))
         return
 
     # Dense tensor: staged slice or coordinate gather. What matters is the

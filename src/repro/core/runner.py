@@ -13,10 +13,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.formats.levels import LevelKind
 from repro.spatial.interp import Machine, execute
 from repro.spatial.ir import SpatialProgram
-from repro.tensor.storage import CompressedLevel, DenseLevel, TensorStorage
+from repro.tensor.storage import (
+    CompressedLevel,
+    DenseLevel,
+    SingletonLevel,
+    TensorStorage,
+)
 from repro.tensor.tensor import Tensor
 
 #: Name of the staging-capacity symbol emitted by the lowerer.
@@ -50,7 +54,7 @@ def bind_symbols(
             continue
         storage = t.storage
         for level, lvl in enumerate(storage.levels):
-            if isinstance(lvl, CompressedLevel):
+            if isinstance(lvl, (CompressedLevel, SingletonLevel)):
                 values[f"{t.name}{level + 1}_nnz"] = lvl.nnz
                 max_extent = max(max_extent, lvl.nnz)
         max_extent = max(max_extent, len(storage.vals))
@@ -107,7 +111,7 @@ def assemble_output(
     num_parents = 1
     for level in range(fmt.order):
         dim = output.shape[fmt.mode_of_level(level)]
-        if fmt.level_format(level).kind is LevelKind.DENSE:
+        if fmt.level_format(level).is_dense:
             levels.append(DenseLevel(dim))
             num_parents *= dim
         else:

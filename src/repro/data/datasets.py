@@ -51,7 +51,11 @@ class DatasetSpec:
         return max(1, int(round(math.prod(dims) * self.density)))
 
 
-MATRIX_KERNELS = ("SpMV", "SDDMM", "MatTransMul", "Residual")
+#: Format-sweep kernels: the same matrix workloads under COO/DCSR/BCSR
+#: storage; their sparse operand stages through the ``convert`` cache.
+FORMAT_KERNELS = ("COO-SpMV", "DCSR-SpMM", "BCSR-SpMV")
+
+MATRIX_KERNELS = ("SpMV", "SDDMM", "MatTransMul", "Residual") + FORMAT_KERNELS
 PLUS3_KERNELS = ("Plus3",)
 TENSOR_KERNELS = ("TTV", "TTM", "MTTKRP")
 TENSOR2_KERNELS = ("InnerProd", "Plus2")
@@ -103,6 +107,35 @@ def _generate(spec: DatasetSpec, scale: float, rng: np.random.Generator):
     raise KeyError(spec.generator)
 
 
+def load_matrix_coo(
+    dataset_name: str,
+    scale: float = 1.0,
+    seed: int = 7,
+    use_cache: bool | None = None,
+) -> tuple[tuple[int, ...], np.ndarray, np.ndarray]:
+    """The raw ``(dims, coords, vals)`` of one matrix dataset.
+
+    Staged under the ``dataset`` cache key, so the format-conversion
+    stage (and the ``repro convert`` CLI) share one generated matrix per
+    (dataset, scale, seed) with every kernel that consumes it.
+    """
+    from repro.pipeline.cache import memoize_stage
+
+    dspec = DATASETS_BY_NAME[dataset_name]
+    if dspec.kind != "matrix":
+        raise ValueError(f"{dataset_name} is not a matrix dataset")
+
+    def compute():
+        rng = np.random.default_rng(seed)
+        dims, (coords, vals) = _generate(dspec, scale, rng)
+        return dims, coords, vals
+
+    return memoize_stage(
+        "dataset", ("matrix-coo", dataset_name, scale, seed), compute,
+        use_cache,
+    )
+
+
 def load(
     kernel_name: str,
     dataset_name: str,
@@ -132,11 +165,30 @@ def load(
         elif ts.role == "dense":
             t.from_dense(rng.random(shape))
         elif ts.role == "sparse":
-            c, v = _variant(kernel_name, sparse_seen, coords, vals, shape, rng)
-            t.from_coo(c, v)
+            if kernel_name in FORMAT_KERNELS:
+                # Format-sweep kernels stage their converted operand once
+                # per (dataset, format) through the conversion compiler.
+                from repro.convert import staged_matrix_storage
+
+                t._storage = staged_matrix_storage(
+                    dataset_name, scale, seed, _FORMAT_OF_KERNEL[kernel_name]
+                )
+                t._pending.clear()
+            else:
+                c, v = _variant(kernel_name, sparse_seen, coords, vals,
+                                shape, rng)
+                t.from_coo(c, v)
             sparse_seen += 1
         tensors[ts.name] = t
     return tensors
+
+
+#: Registered format of each format-sweep kernel's sparse operand.
+_FORMAT_OF_KERNEL = {
+    "COO-SpMV": "coo",
+    "DCSR-SpMM": "dcsr",
+    "BCSR-SpMV": "bcsr",
+}
 
 
 def _variant(kernel: str, index: int, coords, vals, shape, rng):
@@ -155,8 +207,18 @@ def _shape_for(kernel: str, name: str, role: str, order: int, dims) -> tuple:
     """Operand shapes per kernel convention."""
     if order == 0:
         return ()
-    if kernel == "SpMV":
+    if kernel in ("SpMV", "COO-SpMV"):
         return {"A": (dims[0], dims[1]), "x": (dims[1],), "y": (dims[0],)}[name]
+    if kernel == "DCSR-SpMM":
+        r = max(4, min(FACTOR_RANK, dims[0]))
+        return {"A": (dims[0], dims[1]), "B": (dims[1], r),
+                "C": (dims[0], r)}[name]
+    if kernel == "BCSR-SpMV":
+        from repro.convert import blocked_dims
+        from repro.formats.format import DEFAULT_BLOCK as b
+
+        nb0, nb1, _, _ = blocked_dims((dims[0], dims[1]), (b, b))
+        return {"A": (nb0, nb1, b, b), "x": (nb1, b), "y": (nb0, b)}[name]
     if kernel == "Plus3":
         return (dims[0], dims[1])
     if kernel == "SDDMM":

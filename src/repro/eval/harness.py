@@ -32,7 +32,7 @@ from repro.capstan.stats import compute_stats_cached
 from repro.core.compiler import CompiledKernel, compile_stmt
 from repro.data.datasets import datasets_for, load
 from repro.eval import paper_results
-from repro.kernels.suite import KERNEL_ORDER, KERNELS
+from repro.kernels.suite import FORMAT_KERNEL_ORDER, KERNEL_ORDER, KERNELS
 from repro.pipeline.cache import memoize_stage
 from repro.tensor.tensor import Tensor
 
@@ -335,4 +335,49 @@ def format_figure12(series: dict[str, dict[float, float]]) -> str:
             f"{kernel_name:14s}"
             + "".join(f"{points[bw]:9.2f}" for bw in bws)
         )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Format sweep (singleton/COO, DCSR, and blocked formats)
+# ---------------------------------------------------------------------------
+
+#: The format-sweep kernel set: the CSR SpMV baseline plus the COO, DCSR,
+#: and BCSR workloads enabled by the format abstraction subsystem.
+FORMAT_SWEEP_KERNELS = ("SpMV",) + FORMAT_KERNEL_ORDER
+
+
+def format_sweep(scale: float = DEFAULT_SCALE, jobs: int | None = None,
+                 use_cache: bool | None = None) -> dict[str, dict[str, dict]]:
+    """Per-format kernel cost over the matrix datasets.
+
+    Each cell compiles one format-sweep kernel on one dataset (the sparse
+    operand stages once per (dataset, format) through ``repro.convert``)
+    and reports storage footprint, generated-code size, Capstan resources,
+    DRAM traffic, and predicted HBM2E runtime.
+    """
+    from repro.pipeline.batch import run_artifact
+
+    return run_artifact("format_sweep", scale, jobs=jobs, use_cache=use_cache)
+
+
+def format_format_sweep(results: dict[str, dict[str, dict]]) -> str:
+    lines = ["Format sweep — per-format kernel cost on Capstan (HBM2E)"]
+    lines.append(
+        f"{'Kernel':12s}{'Dataset':18s}{'nnz':>10s}{'KiB':>9s}"
+        f"{'LoC':>6s}{'PCU':>6s}{'PMU':>6s}{'DRAM MiB':>10s}{'us':>12s}"
+    )
+    for kernel_name in FORMAT_SWEEP_KERNELS:
+        rows = results.get(kernel_name, {})
+        for dspec in datasets_for(kernel_name):
+            cell = rows.get(dspec.name)
+            if cell is None:
+                continue
+            lines.append(
+                f"{kernel_name:12s}{dspec.name:18s}{cell['nnz']:10d}"
+                f"{cell['storage_bytes'] / 1024:9.1f}"
+                f"{cell['spatial_loc']:6d}{cell['pcu']:6d}{cell['pmu']:6d}"
+                f"{cell['dram_bytes'] / (1024 * 1024):10.2f}"
+                f"{cell['seconds'] * 1e6:12.2f}"
+            )
     return "\n".join(lines)

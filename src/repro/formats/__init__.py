@@ -5,23 +5,35 @@ memory-region annotation of Section 5.1.
 """
 
 from repro.formats.format import (
+    BCSR,
+    CCD,
+    COO,
+    COO3,
     CSC,
     CSF,
     CSR,
+    DCSR,
+    DEFAULT_BLOCK,
     DENSE_MATRIX,
     DENSE_MATRIX_CM,
     DENSE_VECTOR,
     SPARSE_VECTOR,
     UCC,
     Format,
+    FormatSpec,
     format_of,
+    register_format,
+    registered_formats,
 )
 from repro.formats.levels import (
     LevelKind,
     ModeFormat,
     bit_vector,
+    block,
     compressed,
+    compressed_nonunique,
     dense,
+    singleton,
     uncompressed,
 )
 from repro.formats.memory import MemoryRegion, MemoryType
@@ -31,24 +43,36 @@ offChip = MemoryRegion.OFF_CHIP
 onChip = MemoryRegion.ON_CHIP
 
 __all__ = [
+    "BCSR",
+    "CCD",
+    "COO",
+    "COO3",
     "CSC",
     "CSF",
     "CSR",
+    "DCSR",
+    "DEFAULT_BLOCK",
     "DENSE_MATRIX",
     "DENSE_MATRIX_CM",
     "DENSE_VECTOR",
     "SPARSE_VECTOR",
     "UCC",
     "Format",
+    "FormatSpec",
     "LevelKind",
     "MemoryRegion",
     "MemoryType",
     "ModeFormat",
     "bit_vector",
+    "block",
     "compressed",
+    "compressed_nonunique",
     "dense",
     "format_of",
     "offChip",
     "onChip",
+    "register_format",
+    "registered_formats",
+    "singleton",
     "uncompressed",
 ]

@@ -8,14 +8,27 @@ A :class:`Format` mirrors the Stardust input language of Figure 5::
 i.e. an ordered list of per-level formats, an optional mode ordering
 (permutation mapping storage levels to tensor modes; ``{1, 0}`` stores a
 matrix column-major), and the Stardust memory-region annotation.
+
+Beyond the paper's CSR/CSF/dense vocabulary, this module registers the
+COO, DCSR, and blocked (BCSR) whole-tensor formats enabled by the
+``singleton`` and ``block`` level formats, and exposes the registry that
+``repro formats``, ``repro convert``, and the format-sweep artefact
+enumerate.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 
-from repro.formats.levels import ModeFormat, compressed, dense
+from repro.formats.levels import (
+    ModeFormat,
+    block,
+    compressed,
+    compressed_nonunique,
+    dense,
+    singleton,
+)
 from repro.formats.memory import MemoryRegion
 
 
@@ -49,15 +62,13 @@ class Format:
             memory = mode_ordering
             mode_ordering = None
         mode_formats = tuple(mode_formats)
-        if mode_ordering is None:
-            mode_ordering = tuple(range(len(mode_formats)))
-        else:
-            mode_ordering = tuple(int(m) for m in mode_ordering)
-        if sorted(mode_ordering) != list(range(len(mode_formats))):
-            raise ValueError(
-                f"mode_ordering {mode_ordering} is not a permutation of "
-                f"0..{len(mode_formats) - 1}"
-            )
+        for mf in mode_formats:
+            if not isinstance(mf, ModeFormat):
+                raise TypeError(
+                    f"mode formats must be ModeFormat instances, got {mf!r}"
+                )
+        mode_ordering = _validated_ordering(mode_ordering, len(mode_formats))
+        _validate_level_structure(mode_formats)
         object.__setattr__(self, "mode_formats", mode_formats)
         object.__setattr__(self, "mode_ordering", mode_ordering)
         object.__setattr__(self, "memory", memory or MemoryRegion.OFF_CHIP)
@@ -79,6 +90,14 @@ class Format:
     def has_compressed_level(self) -> bool:
         return any(mf.is_compressed for mf in self.mode_formats)
 
+    @property
+    def has_singleton_level(self) -> bool:
+        return any(mf.is_singleton for mf in self.mode_formats)
+
+    @property
+    def has_block_level(self) -> bool:
+        return any(mf.is_block for mf in self.mode_formats)
+
     def level_of_mode(self, mode: int) -> int:
         """Storage level at which tensor mode ``mode`` is stored."""
         return self.mode_ordering.index(mode)
@@ -89,6 +108,19 @@ class Format:
 
     def level_format(self, level: int) -> ModeFormat:
         return self.mode_formats[level]
+
+    def streams_vals_at(self, level: int) -> bool:
+        """Values stream 1:1 with this level's positions.
+
+        True when ``level`` is the innermost level, or every deeper level
+        is singleton (positions pass through unchanged, so one value
+        arrives per position here — the COO layout). The lowerer and the
+        traffic model both consult this, so they stay in agreement.
+        """
+        return all(
+            self.level_format(L).is_singleton
+            for L in range(level + 1, self.order)
+        )
 
     def with_memory(self, memory: MemoryRegion) -> "Format":
         """The same format pinned to a different memory region."""
@@ -101,6 +133,71 @@ class Format:
             parts.append("{" + ", ".join(map(str, self.mode_ordering)) + "}")
         parts.append(str(self.memory))
         return f"Format({', '.join(parts)})"
+
+
+def _validated_ordering(
+    mode_ordering: Sequence[int] | None, order: int
+) -> tuple[int, ...]:
+    """Check that the ordering is a true permutation of ``range(order)``.
+
+    A bad ordering used to surface only deep inside lowering (as a
+    ``ValueError: x is not in tuple`` from ``level_of_mode``); validating
+    here turns it into an immediate, self-explanatory error.
+    """
+    if mode_ordering is None:
+        return tuple(range(order))
+    try:
+        ordering = tuple(int(m) for m in mode_ordering)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"mode_ordering must be a sequence of integers, got "
+            f"{mode_ordering!r}"
+        ) from None
+    if len(ordering) != order:
+        raise ValueError(
+            f"mode_ordering {ordering} has {len(ordering)} entries for "
+            f"{order} mode format(s); it must be a permutation of "
+            f"0..{order - 1}"
+        )
+    if sorted(ordering) != list(range(order)):
+        raise ValueError(
+            f"mode_ordering {ordering} is not a permutation of "
+            f"0..{order - 1} (each storage level must name a distinct "
+            f"tensor mode)"
+        )
+    return ordering
+
+
+def _validate_level_structure(mode_formats: tuple[ModeFormat, ...]) -> None:
+    """Structural constraints on level sequences.
+
+    * singleton levels derive their positions from a parent, so the root
+      (outermost) level cannot be singleton;
+    * block levels are trailing tiles: once a block level appears, every
+      deeper level must also be a block level (BCSR-style layouts).
+    """
+    if mode_formats and mode_formats[0].is_singleton:
+        raise ValueError(
+            "the outermost storage level cannot be singleton: singleton "
+            "levels store one coordinate per parent position"
+        )
+    seen_block = False
+    for lvl, mf in enumerate(mode_formats):
+        if mf.is_block:
+            seen_block = True
+        elif seen_block:
+            raise ValueError(
+                f"level {lvl} ({mf}) follows a block level; block levels "
+                f"must form the trailing (innermost) tile dimensions"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Named whole-tensor formats + registry
+# ---------------------------------------------------------------------------
+
+#: Default tile extent for the registered BCSR format.
+DEFAULT_BLOCK = 4
 
 
 def _fmt(levels: Sequence[ModeFormat], ordering: Sequence[int] | None = None):
@@ -135,20 +232,85 @@ CSF = _fmt([compressed, compressed, compressed])
 #: InnerProd and Plus2 in the evaluation (Section 8.1).
 UCC = _fmt([dense, compressed, compressed])
 
+#: Doubly compressed sparse row: both matrix levels compressed.
+DCSR = _fmt([compressed, compressed])
+
+#: Compressed-compressed-dense 3-tensor (TTM output: dense k level).
+CCD = _fmt([compressed, compressed, dense])
+
+#: Coordinate (COO) matrix: a non-unique compressed root (pos = [0, nnz])
+#: over a singleton column level — one (row, col, val) triple per entry.
+COO = _fmt([compressed_nonunique, singleton])
+
+#: Coordinate (COO) 3-tensor: non-unique root, singleton tails.
+COO3 = _fmt([compressed_nonunique, singleton, singleton])
+
+
+def BCSR(
+    memory: MemoryRegion = MemoryRegion.OFF_CHIP, size: int = DEFAULT_BLOCK
+) -> Format:
+    """Blocked CSR over a blocked 4-D tensor (I/b, J/b, b, b).
+
+    Level 0 indexes block rows densely, level 1 compresses block columns,
+    and two trailing ``block`` levels hold the statically-sized b×b tile.
+    """
+    return Format([dense, compressed, block(size), block(size)], None, memory)
+
+
+@dataclasses.dataclass(frozen=True)
+class FormatSpec:
+    """One registry entry: a named whole-tensor format constructor."""
+
+    name: str
+    make: Callable[..., Format]
+    description: str
+
+    def instantiate(self, memory: MemoryRegion = MemoryRegion.OFF_CHIP) -> Format:
+        return self.make(memory)
+
+
+FORMAT_REGISTRY: dict[str, FormatSpec] = {}
+
+
+def register_format(name: str, make: Callable[..., Format],
+                    description: str) -> FormatSpec:
+    """Register a named whole-tensor format (idempotent per name)."""
+    spec = FormatSpec(name.lower(), make, description)
+    FORMAT_REGISTRY[spec.name] = spec
+    return spec
+
+
+for _name, _make, _desc in (
+    ("csr", CSR, "compressed sparse row (dense rows, compressed columns)"),
+    ("csc", CSC, "compressed sparse column (column-major CSR)"),
+    ("dense2", DENSE_MATRIX, "fully dense row-major matrix"),
+    ("dense2_cm", DENSE_MATRIX_CM, "fully dense column-major matrix"),
+    ("dense1", DENSE_VECTOR, "dense vector"),
+    ("sparse1", SPARSE_VECTOR, "compressed (sparse) vector"),
+    ("csf", CSF, "compressed sparse fiber (3-tensor)"),
+    ("ucc", UCC, "uncompressed-compressed-compressed 3-tensor"),
+    ("dcsr", DCSR, "doubly compressed sparse row"),
+    ("ccd", CCD, "compressed-compressed-dense 3-tensor"),
+    ("coo", COO, "coordinate matrix (non-unique root + singleton column)"),
+    ("coo3", COO3, "coordinate 3-tensor (non-unique root + singleton tails)"),
+    ("bcsr", BCSR,
+     f"blocked CSR with {DEFAULT_BLOCK}x{DEFAULT_BLOCK} tiles "
+     f"(dense, compressed, block, block)"),
+):
+    register_format(_name, _make, _desc)
+
+
+def registered_formats() -> dict[str, FormatSpec]:
+    """The registry of named whole-tensor formats (name -> spec)."""
+    return dict(FORMAT_REGISTRY)
+
 
 def format_of(name: str, memory: MemoryRegion = MemoryRegion.OFF_CHIP) -> Format:
     """Look up a named format constructor (used by the kernel suite)."""
-    table = {
-        "csr": CSR,
-        "csc": CSC,
-        "dense2": DENSE_MATRIX,
-        "dense2_cm": DENSE_MATRIX_CM,
-        "dense1": DENSE_VECTOR,
-        "sparse1": SPARSE_VECTOR,
-        "csf": CSF,
-        "ucc": UCC,
-    }
     try:
-        return table[name.lower()](memory)
+        return FORMAT_REGISTRY[name.lower()].instantiate(memory)
     except KeyError:
-        raise KeyError(f"unknown format name {name!r}; choose from {sorted(table)}")
+        raise KeyError(
+            f"unknown format name {name!r}; choose from "
+            f"{sorted(FORMAT_REGISTRY)}"
+        )

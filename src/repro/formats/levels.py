@@ -4,17 +4,35 @@ A tensor format is a list of *mode formats*, one per dimension, each
 describing how the coordinates of that dimension are stored. Stardust (and
 this reproduction) supports the two formats used throughout the paper —
 ``dense`` (uncompressed) and ``compressed`` — plus the ``bit_vector``
-format that Capstan's declarative-sparse hardware consumes (Section 7.1).
+format that Capstan's declarative-sparse hardware consumes (Section 7.1),
+and two level formats from the wider format-abstraction vocabulary of
+Chou et al.:
+
+* ``singleton`` stores exactly one coordinate per parent position (a bare
+  ``crd`` array with no ``pos`` array). Pairing a non-unique compressed
+  root with singleton tails yields the COO family of whole-tensor formats.
+* ``block`` is an uncompressed level whose extent is fixed at format
+  definition time. Trailing block levels under a compressed level yield
+  the blocked formats (BCSR): each stored position expands to a statically
+  sized dense tile, so inner loops have compile-time trip counts.
+
+Every level format carries the capability properties of the Chou et al.
+level-function interface — *full*, *ordered*, *unique*, *branchless*, and
+*compact* — which the co-iteration machinery consults instead of matching
+on concrete kinds wherever a capability suffices.
 
 In the co-iteration rewrite system of Figure 10, mode formats map onto
-iterator symbols: dense levels are the universe ``U``, compressed levels are
-``C`` and bit-vector levels are ``B``.
+iterator symbols: dense and block levels are the universe ``U``,
+compressed levels are ``C``, bit-vector levels are ``B``, and singleton
+levels are ``S`` (positionally derived from their parent, never
+co-iterated).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import enum
+from typing import Optional
 
 
 class LevelKind(enum.Enum):
@@ -23,9 +41,27 @@ class LevelKind(enum.Enum):
     DENSE = "uncompressed"
     COMPRESSED = "compressed"
     BIT_VECTOR = "bitvector"
+    SINGLETON = "singleton"
+    BLOCK = "block"
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value
+
+
+#: Default capability properties per level kind (Chou et al., Table 1):
+#: ``full``       — every coordinate in [0, N) is represented;
+#: ``branchless`` — child positions derive from the parent position without
+#:                  a data-dependent search (dense arithmetic or 1:1 maps);
+#: ``compact``    — stored positions are contiguous with no padding.
+#: ``ordered``/``unique`` defaults live on :class:`ModeFormat` (they are
+#: per-instance: COO's root is a *non-unique* compressed level).
+_KIND_CAPABILITIES: dict[LevelKind, dict[str, bool]] = {
+    LevelKind.DENSE: {"full": True, "branchless": True, "compact": False},
+    LevelKind.COMPRESSED: {"full": False, "branchless": False, "compact": True},
+    LevelKind.BIT_VECTOR: {"full": True, "branchless": False, "compact": False},
+    LevelKind.SINGLETON: {"full": False, "branchless": True, "compact": True},
+    LevelKind.BLOCK: {"full": True, "branchless": True, "compact": False},
+}
 
 
 @dataclasses.dataclass(frozen=True)
@@ -36,16 +72,31 @@ class ModeFormat:
         kind: storage discipline for this level.
         ordered: coordinates within a position segment appear in sorted
             order. All formats in the paper are ordered.
-        unique: no coordinate repeats within a segment.
+        unique: no coordinate repeats within a segment. COO's root level
+            is compressed but *non-unique* (one entry per stored value).
+        size: static extent for ``block`` levels (must be None otherwise).
     """
 
     kind: LevelKind
     ordered: bool = True
     unique: bool = True
+    size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is LevelKind.BLOCK:
+            if self.size is None or int(self.size) < 1:
+                raise ValueError(
+                    f"block levels need a positive static size, got {self.size!r}"
+                )
+        elif self.size is not None:
+            raise ValueError(
+                f"{self.kind.value} levels take no static size (got {self.size!r})"
+            )
 
     @property
     def is_dense(self) -> bool:
-        return self.kind is LevelKind.DENSE
+        """Uncompressed (positional) level: plain dense or fixed-size block."""
+        return self.kind in (LevelKind.DENSE, LevelKind.BLOCK)
 
     @property
     def is_compressed(self) -> bool:
@@ -56,25 +107,63 @@ class ModeFormat:
         return self.kind is LevelKind.BIT_VECTOR
 
     @property
+    def is_singleton(self) -> bool:
+        return self.kind is LevelKind.SINGLETON
+
+    @property
+    def is_block(self) -> bool:
+        return self.kind is LevelKind.BLOCK
+
+    # -- capability protocol (Chou et al.) ---------------------------------
+
+    @property
+    def full(self) -> bool:
+        return _KIND_CAPABILITIES[self.kind]["full"]
+
+    @property
+    def branchless(self) -> bool:
+        return _KIND_CAPABILITIES[self.kind]["branchless"]
+
+    @property
+    def compact(self) -> bool:
+        return _KIND_CAPABILITIES[self.kind]["compact"]
+
+    def properties(self) -> dict[str, bool]:
+        """The full capability record (level-function interface)."""
+        return {
+            "full": self.full,
+            "ordered": self.ordered,
+            "unique": self.unique,
+            "branchless": self.branchless,
+            "compact": self.compact,
+        }
+
+    @property
     def iterator_symbol(self) -> str:
         """Iterator-format symbol used by the Figure 10 rewrite system."""
         if self.is_dense:
             return "U"
         if self.is_compressed:
             return "C"
+        if self.is_singleton:
+            return "S"
         return "B"
 
     def arrays(self) -> tuple[str, ...]:
         """Names of the sub-arrays this level format owns.
 
-        Dense levels store no explicit arrays (only the dimension size);
-        compressed levels store ``pos`` and ``crd`` arrays; bit-vector
-        levels store a packed occupancy word stream.
+        Dense and block levels store no explicit arrays (only the dimension
+        size); compressed levels store ``pos`` and ``crd`` arrays;
+        singleton levels store only a ``crd`` array (one coordinate per
+        parent position); bit-vector levels store a packed occupancy word
+        stream.
         """
         if self.is_dense:
             return ()
         if self.is_compressed:
             return ("pos", "crd")
+        if self.is_singleton:
+            return ("crd",)
         return ("bv",)
 
     def __str__(self) -> str:
@@ -84,6 +173,8 @@ class ModeFormat:
         if not self.unique:
             flags.append("non-unique")
         suffix = f"({', '.join(flags)})" if flags else ""
+        if self.is_block:
+            return f"block[{self.size}]{suffix}"
         return f"{self.kind.value}{suffix}"
 
 
@@ -96,5 +187,16 @@ uncompressed = dense
 #: The compressed mode format: explicit ``pos``/``crd`` arrays (CSR-style).
 compressed = ModeFormat(LevelKind.COMPRESSED)
 
+#: Compressed with one entry per stored value (the COO root level).
+compressed_nonunique = ModeFormat(LevelKind.COMPRESSED, unique=False)
+
+#: The singleton mode format: one coordinate per parent position.
+singleton = ModeFormat(LevelKind.SINGLETON)
+
 #: The packed bit-vector mode format consumed by Capstan's scanners.
 bit_vector = ModeFormat(LevelKind.BIT_VECTOR)
+
+
+def block(size: int) -> ModeFormat:
+    """A fixed-size uncompressed inner level (BCSR-style tile dimension)."""
+    return ModeFormat(LevelKind.BLOCK, size=int(size))

@@ -1,10 +1,20 @@
-"""The evaluation kernel suite (Table 3)."""
+"""The evaluation kernel suite (Table 3 + format-sweep kernels)."""
 
-from repro.kernels.suite import CCD, DCSR, KERNEL_ORDER, KERNELS, KernelSpec, TensorSpec, get_kernel
+from repro.kernels.suite import (
+    CCD,
+    DCSR,
+    FORMAT_KERNEL_ORDER,
+    KERNEL_ORDER,
+    KERNELS,
+    KernelSpec,
+    TensorSpec,
+    get_kernel,
+)
 
 __all__ = [
     "CCD",
     "DCSR",
+    "FORMAT_KERNEL_ORDER",
     "KERNEL_ORDER",
     "KERNELS",
     "KernelSpec",

@@ -24,32 +24,25 @@ import dataclasses
 from collections.abc import Callable
 
 from repro.formats import (
+    BCSR,
+    CCD,
+    COO,
     CSC,
     CSF,
     CSR,
+    DCSR,
     DENSE_MATRIX,
     DENSE_MATRIX_CM,
     DENSE_VECTOR,
     SPARSE_VECTOR,
     UCC,
     Format,
-    compressed,
-    dense,
     offChip,
     onChip,
 )
 from repro.ir import index_vars
 from repro.schedule.stmt import INNER_PAR, OUTER_PAR, REDUCTION, SPATIAL, IndexStmt
 from repro.tensor import Tensor, scalar
-
-def DCSR(memory=offChip) -> Format:
-    """Both matrix levels compressed (TTV output mirrors B's fibers)."""
-    return Format([compressed, compressed], None, memory)
-
-
-def CCD(memory=offChip) -> Format:
-    """Compressed-compressed-dense 3-tensor (TTM output: dense k level)."""
-    return Format([compressed, compressed, dense], None, memory)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -208,6 +201,44 @@ def _innerprod(tensors, ip, op):
     stmt = stmt.precompute(B[i, j, k] * C[i, j, k], [], [], ws)
     stmt = stmt.accelerate(k, SPATIAL, REDUCTION, par=INNER_PAR)
     return stmt, alpha
+
+
+def _coo_spmv(tensors, ip, op):
+    """SpMV over a COO matrix: one flat position loop with a singleton
+    column bind; the dense output scatter-accumulates on chip."""
+    A, x, y = tensors["A"], tensors["x"], tensors["y"]
+    i, j = index_vars("i j")
+    y[i] = A[i, j] * x[j]
+    return _env(y.get_index_stmt(), ip, op), y
+
+
+def _dcsr_spmm(tensors, ip, op):
+    """SpMM with a doubly compressed operand: only nonzero rows launch.
+
+    The dense output column loop is vectorised innermost (the TTM
+    reorder trick), keeping B's row access affine per lane.
+    """
+    C, A, B = tensors["C"], tensors["A"], tensors["B"]
+    i, j, k = index_vars("i j k")
+    C[i, j] = A[i, k] * B[k, j]
+    stmt = _env(C.get_index_stmt(), ip, op)
+    stmt = stmt.reorder(i, k, j)
+    return stmt, C
+
+
+def _bcsr_spmv(tensors, ip, op):
+    """Blocked SpMV: compressed block columns over static b×b tiles.
+
+    The loop order matches BCSR's storage levels (block row, block
+    column, tile row, tile column); both tile loops carry compile-time
+    trip counts.
+    """
+    A, x, y = tensors["A"], tensors["x"], tensors["y"]
+    I, J, bi, bj = index_vars("I J bi bj")
+    y[I, bi] = A[I, J, bi, bj] * x[J, bj]
+    stmt = _env(y.get_index_stmt(), ip, op)
+    stmt = stmt.reorder(I, J, bi, bj)
+    return stmt, y
 
 
 def _plus2(tensors, ip, op):
@@ -485,10 +516,93 @@ std::cout << A << std::endl;
     ),
 ]
 
-KERNELS: dict[str, KernelSpec] = {spec.name: spec for spec in _SPECS}
+#: Format-sweep kernels: the Table 3 matrix workloads re-expressed over
+#: the COO/DCSR/BCSR whole-tensor formats enabled by the singleton and
+#: block level formats. They are not part of the paper's tables (no
+#: ``paper_*`` reference numbers), so they live outside KERNEL_ORDER.
+_FORMAT_SPECS = [
+    KernelSpec(
+        name="COO-SpMV",
+        expression="y(i) = sum_j A(i,j) * x(j)  [A: COO]",
+        tensor_specs=(
+            TensorSpec("y", "output", 1, DENSE_VECTOR),
+            TensorSpec("A", "sparse", 2, COO),
+            TensorSpec("x", "dense", 1, DENSE_VECTOR),
+        ),
+        build_stmt=_coo_spmv,
+        input_program="""\
+Format coo_off({compressed(non-unique), singleton}, offChip);
+Tensor A({N, N}, coo_off);
+Tensor x({N}, dense_off);  Tensor y({N}, dense_off);
+y(i) = A(i, j) * x(j);
+IndexStmt stmt = y.getAssignment();
+stmt = stmt.environment(innerPar, 16).environment(outerPar, 1);
+std::cout << y << std::endl;
+""",
+        paper_input_loc=0,
+        paper_spatial_loc=0,
+        paper_par=1,
+        uses_reduction=False,
+    ),
+    KernelSpec(
+        name="DCSR-SpMM",
+        expression="C(i,j) = sum_k A(i,k) * B(k,j)  [A: DCSR]",
+        tensor_specs=(
+            TensorSpec("C", "output", 2, DENSE_MATRIX),
+            TensorSpec("A", "sparse", 2, DCSR),
+            TensorSpec("B", "dense", 2, DENSE_MATRIX),
+        ),
+        build_stmt=_dcsr_spmm,
+        input_program="""\
+Format dcsr_off({compressed, compressed}, offChip);
+Tensor A({N, N}, dcsr_off);
+Tensor B({N, R}, rm_off);  Tensor C({N, R}, rm_off);
+C(i, j) = A(i, k) * B(k, j);
+IndexStmt stmt = C.getAssignment();
+stmt = stmt.environment(innerPar, 16).environment(outerPar, 8);
+stmt = stmt.reorder(i, k, j);
+std::cout << C << std::endl;
+""",
+        paper_input_loc=0,
+        paper_spatial_loc=0,
+        paper_par=8,
+        uses_reduction=False,
+    ),
+    KernelSpec(
+        name="BCSR-SpMV",
+        expression="y(I,bi) = sum_Jbj A(I,J,bi,bj) * x(J,bj)  [A: BCSR]",
+        tensor_specs=(
+            TensorSpec("y", "output", 2, DENSE_MATRIX),
+            TensorSpec("A", "sparse", 4, BCSR),
+            TensorSpec("x", "dense", 2, DENSE_MATRIX),
+        ),
+        build_stmt=_bcsr_spmv,
+        input_program="""\
+Format bcsr_off({uncompressed, compressed, block[4], block[4]}, offChip);
+Tensor A({N/4, N/4, 4, 4}, bcsr_off);
+Tensor x({N/4, 4}, rm_off);  Tensor y({N/4, 4}, rm_off);
+y(I, bi) = A(I, J, bi, bj) * x(J, bj);
+IndexStmt stmt = y.getAssignment();
+stmt = stmt.environment(innerPar, 16).environment(outerPar, 8);
+stmt = stmt.reorder(I, J, bi, bj);
+std::cout << y << std::endl;
+""",
+        paper_input_loc=0,
+        paper_spatial_loc=0,
+        paper_par=8,
+        uses_reduction=False,
+    ),
+]
+
+KERNELS: dict[str, KernelSpec] = {
+    spec.name: spec for spec in (*_SPECS, *_FORMAT_SPECS)
+}
 
 #: Kernel evaluation order used throughout the paper's tables.
 KERNEL_ORDER = tuple(spec.name for spec in _SPECS)
+
+#: The format-sweep kernels (plus the CSR baseline, see eval.harness).
+FORMAT_KERNEL_ORDER = tuple(spec.name for spec in _FORMAT_SPECS)
 
 
 def get_kernel(name: str) -> KernelSpec:

@@ -28,7 +28,7 @@ __all__ = [
 ]
 
 #: Artefacts the batch runner can regenerate.
-ARTIFACT_NAMES = ("table3", "table5", "table6", "figure12")
+ARTIFACT_NAMES = ("table3", "table5", "table6", "figure12", "format_sweep")
 
 
 # ---------------------------------------------------------------------------
@@ -116,6 +116,46 @@ def figure12_cell(kernel_name: str, scale: float,
     return memoize_stage("figure12", (kernel_name, scale), compute, use_cache)
 
 
+def format_sweep_cell(kernel_name: str, dataset_name: str, scale: float,
+                      use_cache: bool | None = None):
+    """One format-sweep cell: per-format cost of a kernel on one dataset.
+
+    The kernel's sparse operand is staged once per (dataset, format) by
+    the conversion compiler (``repro.convert``), so every cell sharing a
+    dataset reuses the same generated matrix and every cell sharing a
+    format reuses the converted storage.
+    """
+    from repro.capstan.dram import HBM2E
+    from repro.capstan.resources import estimate_resources_cached
+    from repro.capstan.simulator import CapstanSimulator
+    from repro.capstan.stats import compute_stats_cached
+    from repro.eval import harness
+
+    def compute():
+        coords = (kernel_name, dataset_name, scale, 7)
+        kernel = harness.build_kernel_cached(kernel_name, dataset_name, scale,
+                                             use_cache=use_cache)
+        stats = compute_stats_cached(kernel, coords, use_cache)
+        resources = estimate_resources_cached(kernel, coords, use_cache)
+        seconds = CapstanSimulator().simulate(
+            kernel, dram=HBM2E, stats=stats, resources=resources
+        ).seconds
+        storage = kernel.tensors["A"].storage
+        return {
+            "format": str(kernel.tensors["A"].format),
+            "nnz": int(storage.nnz),
+            "storage_bytes": int(storage.bytes_total()),
+            "spatial_loc": int(kernel.spatial_loc),
+            "pcu": int(resources.pcu),
+            "pmu": int(resources.pmu),
+            "dram_bytes": int(stats.dram_total_bytes),
+            "seconds": float(seconds),
+        }
+
+    return memoize_stage("format_sweep", (kernel_name, dataset_name, scale, 7),
+                         compute, use_cache)
+
+
 # ---------------------------------------------------------------------------
 # Job lists
 # ---------------------------------------------------------------------------
@@ -147,6 +187,15 @@ def artifact_jobs(artifact: str, scale: float,
         return [Job((kernel, "-", "bandwidth-sweep"), figure12_cell,
                     (kernel, scale), dict(kwargs))
                 for kernel in KERNEL_ORDER]
+    if artifact == "format_sweep":
+        from repro.eval.harness import FORMAT_SWEEP_KERNELS
+
+        return [
+            Job((kernel, dspec.name, "format"), format_sweep_cell,
+                (kernel, dspec.name, scale), dict(kwargs))
+            for kernel in FORMAT_SWEEP_KERNELS
+            for dspec in datasets_for(kernel)
+        ]
     raise KeyError(
         f"unknown artefact {artifact!r}; choose from {ARTIFACT_NAMES}"
     )
@@ -179,10 +228,20 @@ def _assemble_by_kernel(results: list[JobResult]) -> dict[str, Any]:
     return {res.job.key[0]: res.unwrap() for res in results}
 
 
+def _assemble_format_sweep(results: list[JobResult]) -> dict[str, dict[str, Any]]:
+    out: dict[str, dict[str, Any]] = {}
+    for res in results:
+        kernel, dataset = res.job.key[0], res.job.key[1]
+        out.setdefault(kernel, {})[dataset] = res.unwrap()
+    return out
+
+
 def assemble_artifact(artifact: str, results: list[JobResult]):
     """Fold ordered job results into the artefact's data structure."""
     if artifact == "table6":
         return _assemble_table6(results)
+    if artifact == "format_sweep":
+        return _assemble_format_sweep(results)
     return _assemble_by_kernel(results)
 
 
@@ -195,6 +254,7 @@ def format_artifact(artifact: str, data) -> str:
         "table5": harness.format_table5,
         "table6": harness.format_table6,
         "figure12": harness.format_figure12,
+        "format_sweep": harness.format_format_sweep,
     }[artifact]
     return formatter(data)
 

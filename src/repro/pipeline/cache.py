@@ -104,19 +104,23 @@ def compiler_version() -> str:
 
 @functools.lru_cache(maxsize=None)
 def subsystem_version(subpackages: tuple[str, ...]) -> str:
-    """A hash of the source files of selected ``repro`` subpackages.
+    """A hash of the source files of selected ``repro`` subsystems.
 
     Narrower than :func:`compiler_version`: cache stages whose results
     depend only on part of the codebase (dataset generation does not care
     about the lowerer) key on the subsystems they actually read, so
-    unrelated compiler edits keep those entries warm.
+    unrelated compiler edits keep those entries warm. Entries may name a
+    subpackage directory or a single top-level module file
+    (``convert.py``).
     """
     import repro
 
     root = Path(repro.__file__).resolve().parent
     h = hashlib.sha256()
     for sub in sorted(subpackages):
-        for path in sorted((root / sub).rglob("*.py")):
+        target = root / sub
+        paths = [target] if target.is_file() else sorted(target.rglob("*.py"))
+        for path in paths:
             h.update(str(path.relative_to(root)).encode())
             h.update(path.read_bytes())
     return h.hexdigest()[:16]
@@ -128,8 +132,11 @@ def subsystem_version(subpackages: tuple[str, ...]) -> str:
 NO_CACHE_EXEMPT_STAGES = frozenset({"dataset"})
 
 #: Stages keyed by a subsystem hash instead of the whole-compiler hash.
+#: ``convert.py`` is included wherever converted operands can be embedded
+#: in an entry, so conversion-compiler edits invalidate them.
 _STAGE_SUBSYSTEMS: dict[str, tuple[str, ...]] = {
-    "dataset": ("data", "formats", "kernels", "tensor"),
+    "dataset": ("convert.py", "data", "formats", "kernels", "tensor"),
+    "convert": ("convert.py", "data", "formats", "tensor"),
 }
 
 

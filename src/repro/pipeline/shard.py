@@ -139,6 +139,8 @@ def encode_result(artifact: str, value: Any) -> Any:
         return dict(value)
     if artifact == "figure12":  # {bandwidth: speedup}; JSON keys are strings
         return {str(bw): ratio for bw, ratio in value.items()}
+    if artifact == "format_sweep":  # plain metrics dict per cell
+        return dict(value)
     raise KeyError(
         f"unknown artefact {artifact!r}; choose from {ARTIFACT_NAMES}"
     )
@@ -163,6 +165,8 @@ def decode_result(artifact: str, payload: Any) -> Any:
     if artifact == "figure12":
         return {int(bw) if bw.lstrip("-").isdigit() else float(bw): ratio
                 for bw, ratio in payload.items()}
+    if artifact == "format_sweep":
+        return dict(payload)
     raise KeyError(
         f"unknown artefact {artifact!r}; choose from {ARTIFACT_NAMES}"
     )

@@ -40,6 +40,7 @@ from repro.spatial.ir import (
     SBin,
     SDeq,
     SExpr,
+    SingletonCounter,
     SLit,
     SRead,
     SRegRead,
@@ -257,6 +258,27 @@ class Machine:
                 raise InterpError("dense counters bind exactly one index")
             for k in range(trips):
                 yield {ivars[0]: base + k * counter.step}
+            return
+        if isinstance(counter, SingletonCounter):
+            # Exactly one iteration: the coordinate stored at the parent's
+            # position (COO-style singleton levels).
+            if len(ivars) != 1:
+                raise InterpError("singleton counters bind exactly one index")
+            pos = int(self.eval(counter.pos, env))
+            if counter.crd_mem in self.sram:
+                mem = self.sram[counter.crd_mem]
+            elif counter.crd_mem in self.dram:
+                mem = self.dram[counter.crd_mem]
+            else:
+                raise InterpError(
+                    f"singleton scan of undeclared memory {counter.crd_mem!r}"
+                )
+            if not 0 <= pos < len(mem):
+                raise InterpError(
+                    f"singleton position {pos} out of bounds for "
+                    f"{counter.crd_mem!r} (size {len(mem)})"
+                )
+            yield {ivars[0]: int(mem[pos])}
             return
         assert isinstance(counter, ScanCounter)
         bv_a = self.bitvec[counter.bv_a]

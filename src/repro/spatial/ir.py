@@ -181,7 +181,21 @@ class ScanCounter:
     length: Optional[SExpr] = None  # dense extent of the scanned space
 
 
-Counter = Union[DenseCounter, ScanCounter]
+@dataclasses.dataclass(frozen=True)
+class SingletonCounter:
+    """``Singleton(crd(parent))``: the singleton-level iterator.
+
+    Yields exactly one iteration per launch, binding the level's single
+    coordinate ``crd_mem[pos]`` (one stored coordinate per parent
+    position — the COO column/tail levels of Chou et al.). The pattern
+    index *is* the coordinate; the position is the parent's position.
+    """
+
+    crd_mem: str
+    pos: SExpr
+
+
+Counter = Union[DenseCounter, ScanCounter, SingletonCounter]
 
 
 # ---------------------------------------------------------------------------

@@ -6,9 +6,15 @@ values array. Each level materialises the coordinates of one tensor mode
 
 * **dense** levels store nothing; a parent position ``p`` expands to child
   positions ``p * N + i`` for every coordinate ``i`` in ``[0, N)``.
+* **block** levels behave like dense levels whose extent is fixed by the
+  format (the BCSR tile dimensions); packing validates the tensor shape
+  against the static size.
 * **compressed** levels store a ``pos`` array (segment boundaries per parent
   position) and a ``crd`` array (the nonzero coordinates), exactly the
-  CSR-style arrays of Figure 8.
+  CSR-style arrays of Figure 8. Non-unique compressed levels (the COO
+  root) keep one position per stored entry instead of deduplicating.
+* **singleton** levels store a bare ``crd`` array with exactly one
+  coordinate per parent position (the COO column/tail levels).
 
 The :func:`pack` function converts COO data into this representation for an
 arbitrary format, and :func:`unpack` converts back, so round-tripping is
@@ -59,7 +65,23 @@ class CompressedLevel:
         return int(self.pos[parent_pos]), int(self.pos[parent_pos + 1])
 
 
-Level = DenseLevel | CompressedLevel
+@dataclasses.dataclass
+class SingletonLevel:
+    """A singleton storage level: one explicit coordinate per parent
+    position (a ``crd`` array with no ``pos`` array)."""
+
+    crd: np.ndarray
+
+    @property
+    def kind(self) -> LevelKind:
+        return LevelKind.SINGLETON
+
+    @property
+    def nnz(self) -> int:
+        return len(self.crd)
+
+
+Level = DenseLevel | CompressedLevel | SingletonLevel
 
 
 @dataclasses.dataclass
@@ -89,8 +111,14 @@ class TensorStorage:
         return self.dims[self.fmt.mode_of_level(level)]
 
     def array(self, level: int, name: str) -> np.ndarray:
-        """Fetch a named sub-array (``pos``/``crd``) of a compressed level."""
+        """Fetch a named sub-array (``pos``/``crd``) of a sparse level."""
         lvl = self.levels[level]
+        if isinstance(lvl, SingletonLevel):
+            if name == "crd":
+                return lvl.crd
+            raise KeyError(
+                f"singleton level {level} has no {name!r} array (only crd)"
+            )
         if not isinstance(lvl, CompressedLevel):
             raise KeyError(f"level {level} is dense and has no {name!r} array")
         if name == "pos":
@@ -105,6 +133,8 @@ class TensorStorage:
         for lvl in self.levels:
             if isinstance(lvl, CompressedLevel):
                 total += (len(lvl.pos) + len(lvl.crd)) * 4
+            elif isinstance(lvl, SingletonLevel):
+                total += len(lvl.crd) * 4
         return total
 
 
@@ -187,16 +217,40 @@ def pack(
         mode = fmt.mode_of_level(lvl_idx)
         dim = dims[mode]
         lvl_coords = coords[:, mode]
-        if fmt.level_format(lvl_idx).is_dense:
+        lf = fmt.level_format(lvl_idx)
+        if lf.is_dense:
+            if lf.is_block and dim != lf.size:
+                raise ValueError(
+                    f"block level {lvl_idx} has static size {lf.size} but "
+                    f"mode {mode} has dimension {dim}"
+                )
             levels.append(DenseLevel(dim))
             parent_pos = parent_pos * dim + lvl_coords
             num_parents *= dim
+        elif lf.is_singleton:
+            # One coordinate per parent position: positions pass through.
+            if n != num_parents or (
+                n and len(np.unique(parent_pos)) != n
+            ):
+                raise ValueError(
+                    f"singleton level {lvl_idx} requires exactly one entry "
+                    f"per parent position ({num_parents} parents, {n} "
+                    f"entries); use a non-unique compressed parent level"
+                )
+            crd = np.zeros(num_parents, dtype=_CRD_DTYPE)
+            crd[parent_pos] = lvl_coords
+            levels.append(SingletonLevel(crd=crd))
         else:
             # Rank unique (parent_pos, coord) pairs. Entries are already
             # sorted in storage order, so pairs appear grouped and sorted.
+            # Non-unique compressed levels (the COO root) keep one position
+            # per stored entry instead of grouping equal pairs.
             key = parent_pos * dim + lvl_coords
             if n:
-                new_group = np.concatenate(([True], key[1:] != key[:-1]))
+                if lf.unique:
+                    new_group = np.concatenate(([True], key[1:] != key[:-1]))
+                else:
+                    new_group = np.ones(n, dtype=bool)
                 group_rank = np.cumsum(new_group) - 1
                 uniq_key = key[new_group]
                 uniq_parent = parent_pos[new_group]
@@ -241,6 +295,9 @@ def unpack(storage: TensorStorage) -> tuple[np.ndarray, np.ndarray]:
             positions = np.repeat(positions, dim) * dim + new_coord
             coord_cols = [np.repeat(c, dim) for c in coord_cols]
             coord_cols.append(new_coord)
+        elif isinstance(lvl, SingletonLevel):
+            # One child per parent: positions pass through unchanged.
+            coord_cols.append(lvl.crd[positions].astype(np.int64))
         else:
             counts = lvl.pos[positions + 1] - lvl.pos[positions]
             starts = lvl.pos[positions]

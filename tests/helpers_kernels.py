@@ -24,6 +24,10 @@ SMALL_DIMS = {
     "MTTKRP": {"A": (4, 3), "B": (4, 5, 6), "C": (3, 5), "D": (3, 6)},
     "InnerProd": {"alpha_out": (), "B": (4, 5, 6), "C": (4, 5, 6)},
     "Plus2": {"A": (4, 5, 6), "B": (4, 5, 6), "C": (4, 5, 6)},
+    # Format-sweep kernels (COO / DCSR / blocked layouts).
+    "COO-SpMV": {"A": (7, 9), "x": (9,), "y": (7,)},
+    "DCSR-SpMM": {"A": (7, 9), "B": (9, 5), "C": (7, 5)},
+    "BCSR-SpMV": {"A": (3, 5, 4, 4), "x": (5, 4), "y": (3, 4)},
 }
 
 

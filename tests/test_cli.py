@@ -42,6 +42,49 @@ def test_tables_artifact(capsys):
     assert "Table 3" in out
 
 
+def test_formats_listing(capsys):
+    assert main(["formats"]) == 0
+    out = capsys.readouterr().out
+    assert "csr" in out and "coo" in out and "bcsr" in out
+    assert "singleton" in out and "block[4]" in out
+
+
+def test_formats_json(capsys):
+    import json
+
+    assert main(["formats", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    by_name = {entry["name"]: entry for entry in payload}
+    assert by_name["coo"]["levels"][1]["kind"] == "singleton"
+    assert by_name["bcsr"]["levels"][2]["size"] == 4
+    assert by_name["csc"]["mode_ordering"] == [1, 0]
+    assert all("full" in lvl for e in payload for lvl in e["levels"])
+
+
+def test_convert_plan_only(capsys):
+    assert main(["convert", "csr", "bcsr", "--dataset", "random-1pct",
+                 "--scale", "0.05", "--plan"]) == 0
+    out = capsys.readouterr().out
+    assert "block" in out and "pack" in out
+
+
+def test_convert_with_verify(capsys):
+    assert main(["convert", "csr", "coo", "--dataset", "random-1pct",
+                 "--scale", "0.05", "--verify"]) == 0
+    out = capsys.readouterr().out
+    assert "verify: dense round-trip matches" in out
+
+
+def test_convert_unknown_format_rejected(capsys):
+    assert main(["convert", "csr", "nosuch"]) == 2
+
+
+def test_kernels_listing_includes_format_kernels(capsys):
+    assert main(["kernels"]) == 0
+    out = capsys.readouterr().out
+    assert "COO-SpMV" in out and "BCSR-SpMV" in out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])

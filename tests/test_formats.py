@@ -3,9 +3,13 @@
 import pytest
 
 from repro.formats import (
+    BCSR,
+    COO,
+    COO3,
     CSC,
     CSF,
     CSR,
+    DCSR,
     DENSE_MATRIX,
     DENSE_MATRIX_CM,
     DENSE_VECTOR,
@@ -17,11 +21,15 @@ from repro.formats import (
     MemoryType,
     ModeFormat,
     bit_vector,
+    block,
     compressed,
+    compressed_nonunique,
     dense,
     format_of,
     offChip,
     onChip,
+    registered_formats,
+    singleton,
 )
 
 
@@ -49,6 +57,42 @@ class TestModeFormat:
 
     def test_default_ordered_unique(self):
         assert compressed.ordered and compressed.unique
+
+    def test_singleton_properties(self):
+        assert singleton.is_singleton
+        assert singleton.iterator_symbol == "S"
+        assert singleton.arrays() == ("crd",)
+        assert singleton.branchless and singleton.compact
+        assert not singleton.full
+
+    def test_block_properties(self):
+        b = block(4)
+        assert b.is_block and b.is_dense  # uncompressed capability
+        assert b.size == 4
+        assert b.iterator_symbol == "U"
+        assert b.arrays() == ()
+        assert "block[4]" in str(b)
+
+    def test_block_requires_positive_size(self):
+        with pytest.raises(ValueError):
+            block(0)
+        with pytest.raises(ValueError):
+            ModeFormat(LevelKind.BLOCK)
+
+    def test_size_rejected_on_non_block(self):
+        with pytest.raises(ValueError):
+            ModeFormat(LevelKind.COMPRESSED, size=4)
+
+    def test_compressed_nonunique_flags(self):
+        assert compressed_nonunique.is_compressed
+        assert not compressed_nonunique.unique
+        assert "non-unique" in str(compressed_nonunique)
+
+    def test_capability_protocol_record(self):
+        props = compressed.properties()
+        assert props == {"full": False, "ordered": True, "unique": True,
+                         "branchless": False, "compact": True}
+        assert dense.properties()["full"] and dense.properties()["branchless"]
 
 
 class TestFormat:
@@ -128,6 +172,76 @@ class TestFormat:
     def test_format_of_unknown(self):
         with pytest.raises(KeyError):
             format_of("cooocoo")
+
+    def test_ordering_wrong_length_rejected(self):
+        with pytest.raises(ValueError, match="permutation"):
+            Format([dense, compressed], [0])
+        with pytest.raises(ValueError, match="permutation"):
+            Format([dense, compressed], [0, 1, 2])
+
+    def test_ordering_non_integer_rejected(self):
+        with pytest.raises(ValueError, match="integers"):
+            Format([dense, compressed], ["a", "b"])
+
+    def test_ordering_negative_rejected(self):
+        with pytest.raises(ValueError, match="permutation"):
+            Format([dense, compressed], [-1, 0])
+
+    def test_non_modeformat_levels_rejected(self):
+        with pytest.raises(TypeError):
+            Format(["dense", compressed])
+
+    def test_singleton_root_rejected(self):
+        with pytest.raises(ValueError, match="outermost"):
+            Format([singleton, compressed])
+
+    def test_block_must_be_trailing(self):
+        with pytest.raises(ValueError, match="trailing"):
+            Format([dense, block(4), compressed, block(4)])
+
+
+class TestNewWholeTensorFormats:
+    def test_coo_structure(self):
+        fmt = COO(offChip)
+        assert fmt.level_format(0).is_compressed
+        assert not fmt.level_format(0).unique
+        assert fmt.level_format(1).is_singleton
+        assert fmt.has_singleton_level
+
+    def test_coo3_structure(self):
+        fmt = COO3(offChip)
+        assert fmt.order == 3
+        assert fmt.level_format(1).is_singleton
+        assert fmt.level_format(2).is_singleton
+
+    def test_dcsr_structure(self):
+        fmt = DCSR(offChip)
+        assert all(fmt.level_format(i).is_compressed for i in range(2))
+
+    def test_bcsr_structure(self):
+        fmt = BCSR(offChip)
+        assert fmt.order == 4
+        assert fmt.level_format(0).is_dense
+        assert fmt.level_format(1).is_compressed
+        assert fmt.level_format(2).is_block and fmt.level_format(3).is_block
+        assert fmt.has_block_level
+
+    def test_bcsr_custom_tile(self):
+        fmt = BCSR(offChip, size=8)
+        assert fmt.level_format(2).size == 8
+
+    def test_registry_contains_new_formats(self):
+        names = set(registered_formats())
+        assert {"coo", "coo3", "dcsr", "ccd", "bcsr"} <= names
+        for name, spec in registered_formats().items():
+            fmt = spec.instantiate(offChip)
+            assert fmt.order >= 1
+            assert spec.description
+
+    def test_format_of_new_names(self):
+        assert format_of("coo").has_singleton_level
+        assert format_of("dcsr").level_format(0).is_compressed
+        assert format_of("bcsr").has_block_level
 
 
 class TestMemoryTypes:

@@ -32,7 +32,8 @@ def _diff_message(name: str, got: str, want: str) -> str:
             f"regenerate the golden file (see module docstring)\n{diff}")
 
 
-@pytest.mark.parametrize("name", ["SpMV", "SDDMM", "Plus3"])
+@pytest.mark.parametrize("name",
+                         ["SpMV", "SDDMM", "Plus3", "COO-SpMV", "BCSR-SpMV"])
 def test_spatial_matches_golden(name):
     stmt, _, _ = build_small_kernel_stmt(name)
     got = compile_stmt(stmt, name.lower()).source
