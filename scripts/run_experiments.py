@@ -14,8 +14,17 @@ slice of every artefact's job list and writes shard manifests to
 ``--shard-dir`` instead of tables; collect the manifests from all N
 hosts and fold each artefact with ``python -m repro merge``.
 
+``--workers SPEC`` replaces static sharding with the fault-tolerant
+dispatcher (``repro.pipeline.dispatch``): every artefact's job list is
+leased chunk-by-chunk to a pool of workers (``local:N`` subprocesses or
+``ssh:host1,host2``), dead or hung workers lose their lease, and the
+merged artefacts — byte-identical to the serial run — land in results/
+alongside the per-chunk manifests (under results/dispatch/), so an
+interrupted sweep resumes where it stopped.
+
 Usage:  python scripts/run_experiments.py [scale] [--jobs N] [--no-cache]
                                           [--shard I/N [--shard-dir DIR]]
+                                          [--workers SPEC]
 """
 
 import argparse
@@ -63,6 +72,42 @@ def _run_shard(args, use_cache) -> int:
     return 1 if failures else 0
 
 
+def _run_dispatch(args, use_cache) -> int:
+    """Dispatch every artefact's sweep over a fault-tolerant worker pool."""
+    from repro.pipeline.dispatch import DispatchError, dispatch
+
+    OUT.mkdir(exist_ok=True)
+    state_root = OUT / "dispatch"
+    t0 = time.time()
+    bad = 0
+    for artifact, at in _artifact_scales(args.scale):
+        def event(message, _artifact=artifact):
+            print(f"[{_artifact}] {message}", file=sys.stderr)
+
+        try:
+            result = dispatch(
+                artifact, at, args.workers,
+                use_cache=use_cache, worker_jobs=args.jobs,
+                state_dir=state_root / artifact, resume=True,
+                on_event=event,
+            )
+        except DispatchError as exc:
+            print(f"dispatch error: {exc}", file=sys.stderr)
+            return 2
+        print(result.summary())
+        if result.ok:
+            (OUT / f"{artifact}.txt").write_text(result.merged.text + "\n")
+            print(f"\n##### {artifact}.txt (scale={at})")
+            print(result.merged.text)
+        else:
+            bad += 1
+            for line in result.failure_report():
+                print(line, file=sys.stderr)
+    print(f"\nTotal time: {time.time() - t0:.1f}s; manifests in "
+          f"{state_root}/; artefacts in {OUT}/")
+    return 1 if bad else 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("scale", nargs="?", type=float, default=1.0)
@@ -73,9 +118,20 @@ def main() -> int:
                              "instead of tables")
     parser.add_argument("--shard-dir", type=Path, default=OUT / "shards",
                         help="manifest output directory for --shard")
+    parser.add_argument("--workers", metavar="SPEC", default=None,
+                        help="dispatch all artefacts over a worker pool "
+                             "(local:N or ssh:host1,host2) with dynamic "
+                             "leases and automatic resume")
     args = parser.parse_args()
     use_cache = False if args.no_cache else None
 
+    if args.shard and args.workers:
+        print("--shard and --workers are mutually exclusive: static "
+              "slicing and the dispatcher both own the partition",
+              file=sys.stderr)
+        return 2
+    if args.workers:
+        return _run_dispatch(args, use_cache)
     if args.shard:
         return _run_shard(args, use_cache)
 

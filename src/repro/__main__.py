@@ -12,9 +12,18 @@ Subcommands:
 * ``batch``    — regenerate several artefacts as one parallel job batch,
   with per-job failure isolation and a cache/throughput summary;
   ``--shard I/N --out F.json`` runs one deterministic slice of a single
-  artefact's job list and writes a shard manifest instead.
+  artefact's job list and writes a shard manifest instead (``--out -``
+  streams the manifest to stdout, which is how dispatch workers report).
+* ``dispatch`` — drive an artefact's whole job list through a pool of
+  fault-tolerant workers (``--workers local:N`` / ``ssh:h1,h2`` /
+  ``inline:N``): idle workers lease chunks dynamically, dead or hung
+  workers lose their lease and the chunk is reassigned, persistently
+  failing jobs are quarantined, and the merged output is byte-identical
+  to the serial ``tables`` run. ``--resume DIR`` persists per-chunk
+  manifests and picks up a partially completed dispatch.
 * ``merge``    — validate shard manifests and fold them into the full
-  artefact, byte-identical to the serial ``tables`` output.
+  artefact, byte-identical to the serial ``tables`` output. Arguments
+  may be glob patterns (quoted, for non-shell callers).
 * ``formats``  — list the registered whole-tensor formats with their
   level kinds, mode ordering, and memory region (``--json`` for a
   machine-readable dump).
@@ -264,14 +273,23 @@ def _run_shard_to_manifest(args, artifact: str, spec, use_cache) -> int:
                          use_cache=use_cache,
                          kind="process" if args.processes else "thread",
                          on_result=progress)
-    out = args.out or f"{artifact}.shard{spec.index}of{spec.count}.json"
-    manifest.save(out)
+    to_stdout = args.out == "-"
+    if to_stdout:
+        # Dispatch workers stream the manifest back over stdout; keep
+        # stdout pure JSON and push the human summary to stderr.
+        sys.stdout.write(manifest.to_json())
+        sys.stdout.flush()
+        out = "<stdout>"
+    else:
+        out = args.out or f"{artifact}.shard{spec.index}of{spec.count}.json"
+        manifest.save(out)
     failures = manifest.failures()
     stages = default_cache().stats.stage_summary()
     note = f"; cache stages: {stages}" if stages and not args.processes else ""
     print(f"shard {spec} of {artifact} (scale {args.scale}): "
           f"{len(manifest.jobs)}/{manifest.total_jobs} job(s), "
-          f"{len(failures)} failed -> {out}{note}")
+          f"{len(failures)} failed -> {out}{note}",
+          file=sys.stderr if to_stdout else sys.stdout)
     for entry in failures:
         key = ":".join(str(k) for k in entry["key"])
         print(f"FAILED {key}:\n{entry.get('error', '')}", file=sys.stderr)
@@ -284,11 +302,19 @@ def _cmd_merge(args) -> int:
     from repro.pipeline.shard import (
         ManifestError,
         ShardManifest,
+        expand_manifest_paths,
         merge_manifests,
     )
 
+    paths = expand_manifest_paths(args.manifests)
+    if not paths:
+        patterns = " ".join(args.manifests) or "(no arguments)"
+        print(f"merge error: no manifest files matched {patterns}; "
+              f"run `batch <artefact> --shard I/N --out F.json` first",
+              file=sys.stderr)
+        return 2
     try:
-        manifests = [ShardManifest.load(p) for p in args.manifests]
+        manifests = [ShardManifest.load(p) for p in paths]
         merged = merge_manifests(
             manifests,
             require_current_compiler=not args.allow_stale_compiler,
@@ -299,6 +325,47 @@ def _cmd_merge(args) -> int:
     if args.out:
         Path(args.out).write_text(merged.text + "\n")
     print(merged.text)
+    return 0
+
+
+def _cmd_dispatch(args) -> int:
+    from pathlib import Path
+
+    from repro.pipeline.dispatch import DispatchError, dispatch
+
+    def event(message: str) -> None:
+        if not args.quiet:
+            print(message, file=sys.stderr)
+
+    try:
+        result = dispatch(
+            args.artifact, args.scale, args.workers,
+            chunks_per_worker=args.chunks_per_worker,
+            lease_timeout=args.lease_timeout,
+            retries=args.retries,
+            use_cache=_use_cache(args),
+            worker_jobs=args.jobs,
+            state_dir=args.resume,
+            resume=args.resume is not None,
+            on_event=event,
+        )
+    except DispatchError as exc:
+        print(f"dispatch error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        # e.g. the transport binary (ssh) is missing or fds ran out;
+        # in-flight workers were already revoked by the dispatcher.
+        print(f"dispatch error: cannot launch workers over "
+              f"{args.workers}: {exc}", file=sys.stderr)
+        return 2
+    print(result.summary(), file=sys.stderr)
+    for line in result.failure_report():
+        print(line, file=sys.stderr)
+    if not result.ok:
+        return 1
+    if args.out:
+        Path(args.out).write_text(result.merged.text + "\n")
+    print(result.merged.text)
     return 0
 
 
@@ -394,12 +461,49 @@ def main(argv: list[str] | None = None) -> int:
                               "a JSON manifest instead of printing tables")
     p_batch.add_argument("--out", default=None,
                          help="manifest path for --shard (default: "
-                              "<artefact>.shardIofN.json)")
+                              "<artefact>.shardIofN.json; `-` streams the "
+                              "manifest JSON to stdout)")
+
+    p_disp = sub.add_parser(
+        "dispatch",
+        help="drive an artefact's sweep through a fault-tolerant worker "
+             "pool (chunked leases; merged output byte-identical to "
+             "`tables`)")
+    p_disp.add_argument("artifact",
+                        choices=["table3", "table5", "table6", "figure12",
+                                 "format_sweep"])
+    p_disp.add_argument("--workers", default="local:2", metavar="SPEC",
+                        help="transport spec: local:N subprocesses "
+                             "(default local:2), ssh:host1,host2, or "
+                             "inline:N in-process threads")
+    p_disp.add_argument("--scale", type=float, default=0.25)
+    p_disp.add_argument("--chunks-per-worker", type=int, default=4,
+                        help="lease granularity: chunks cut per worker "
+                             "slot (default 4)")
+    p_disp.add_argument("--lease-timeout", type=float, default=900.0,
+                        help="seconds before a silent worker is presumed "
+                             "hung and its chunk reassigned (default 900)")
+    p_disp.add_argument("--retries", type=int, default=2,
+                        help="re-dispatches per chunk after worker death "
+                             "or job failure before quarantine (default 2)")
+    p_disp.add_argument("--jobs", type=int, default=None,
+                        help="worker-internal thread count (default: "
+                             "REPRO_JOBS or 1)")
+    p_disp.add_argument("--resume", metavar="DIR", default=None,
+                        help="persist per-chunk manifests under DIR and "
+                             "skip chunks a previous dispatch completed")
+    p_disp.add_argument("--out", default=None,
+                        help="also write the merged artefact text here")
+    p_disp.add_argument("--no-cache", action="store_true",
+                        help="workers bypass the compilation/result cache")
+    p_disp.add_argument("--quiet", action="store_true",
+                        help="suppress per-lease progress on stderr")
 
     p_merge = sub.add_parser(
         "merge", help="merge shard manifests into the full artefact")
-    p_merge.add_argument("manifests", nargs="+",
-                         help="shard manifest files written by "
+    p_merge.add_argument("manifests", nargs="*",
+                         help="shard manifest files (or quoted glob "
+                              "patterns) written by "
                               "`batch --shard I/N --out ...`")
     p_merge.add_argument("--out", default=None,
                          help="also write the merged artefact text here")
@@ -445,6 +549,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "tables": _cmd_tables,
         "batch": _cmd_batch,
+        "dispatch": _cmd_dispatch,
         "merge": _cmd_merge,
         "formats": _cmd_formats,
         "convert": _cmd_convert,

@@ -16,6 +16,11 @@ and benchmark drivers all route through:
 * :mod:`repro.pipeline.shard` — deterministic sharding of those job
   lists across workers/hosts, with self-describing JSON manifests and a
   validating merge that reproduces the serial artefacts byte-identically.
+* :mod:`repro.pipeline.dispatch` — a fault-tolerant sweep dispatcher
+  that leases chunks of a job list to a pool of workers (local
+  subprocesses, SSH hosts, or in-process threads), reassigns the chunks
+  of dead or hung workers, quarantines persistently failing jobs, and
+  folds the collected manifests through the validating merge.
 """
 
 from repro.pipeline.cache import (
@@ -37,6 +42,8 @@ from repro.pipeline.batch import (
     ARTIFACT_NAMES,
     BatchRun,
     artifact_jobs,
+    assemble_artifact,
+    format_artifact,
     run_artifact,
     run_batch,
 )
@@ -46,8 +53,19 @@ from repro.pipeline.shard import (
     MergeError,
     ShardManifest,
     ShardSpec,
+    expand_manifest_paths,
     merge_manifests,
     run_shard,
+)
+from repro.pipeline.dispatch import (
+    DispatchError,
+    DispatchResult,
+    InlineTransport,
+    LocalTransport,
+    SshTransport,
+    Transport,
+    dispatch,
+    parse_transport,
 )
 
 __all__ = [
@@ -55,25 +73,36 @@ __all__ = [
     "BatchRun",
     "CacheStats",
     "CompilationCache",
+    "DispatchError",
+    "DispatchResult",
+    "InlineTransport",
     "Job",
     "JobResult",
+    "LocalTransport",
     "ManifestError",
     "MergeError",
     "MergedArtifact",
     "ShardManifest",
     "ShardSpec",
+    "SshTransport",
+    "Transport",
     "artifact_jobs",
+    "assemble_artifact",
     "cache_enabled",
     "compiler_version",
     "default_cache",
     "default_jobs",
     "disk_cache_dir",
+    "dispatch",
+    "expand_manifest_paths",
     "fingerprint_stmt",
     "fingerprint_tensor",
+    "format_artifact",
     "make_key",
     "memoize",
     "memoize_stage",
     "merge_manifests",
+    "parse_transport",
     "run_artifact",
     "run_batch",
     "run_jobs",

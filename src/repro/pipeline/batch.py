@@ -23,6 +23,8 @@ __all__ = [
     "ARTIFACT_NAMES",
     "BatchRun",
     "artifact_jobs",
+    "assemble_artifact",
+    "format_artifact",
     "run_artifact",
     "run_batch",
 ]

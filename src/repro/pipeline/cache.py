@@ -52,6 +52,7 @@ __all__ = [
     "CompilationCache",
     "NO_CACHE_EXEMPT_STAGES",
     "cache_enabled",
+    "cache_env_knobs",
     "compiler_version",
     "default_cache",
     "disk_cache_dir",
@@ -219,6 +220,23 @@ def disk_cache_dir() -> Path | None:
     if configured:
         return Path(configured).expanduser()
     return Path.home() / ".cache" / "repro"
+
+
+#: Environment variables that change cache behaviour; dispatch workers
+#: (local subprocesses, SSH remotes) must see the same values the
+#: dispatcher does or their staged entries land in a different store.
+_ENV_KNOBS = ("REPRO_CACHE_DIR", "REPRO_NO_CACHE", "REPRO_CACHE_DISK",
+              "REPRO_CACHE_MEM")
+
+
+def cache_env_knobs() -> dict[str, str]:
+    """The cache-relevant ``REPRO_*`` variables currently set.
+
+    Used by the sweep dispatcher to forward this process's cache
+    configuration into worker environments (notably over SSH, where the
+    local environment is not inherited).
+    """
+    return {k: os.environ[k] for k in _ENV_KNOBS if k in os.environ}
 
 
 def _memory_entries() -> int:

@@ -71,7 +71,11 @@ def default_jobs() -> int:
         return 1
 
 
-def _run_one(job: Job) -> JobResult:
+def _run_one(job: Job,
+             should_stop: Callable[[], bool] | None = None) -> JobResult:
+    if should_stop is not None and should_stop():
+        return JobResult(job, False,
+                         error=f"job {job} cancelled before it started")
     start = time.perf_counter()
     try:
         value = job.run()
@@ -87,6 +91,7 @@ def run_jobs(
     max_workers: int | None = None,
     kind: str = "thread",
     on_result: Callable[[JobResult, int, int], None] | None = None,
+    should_stop: Callable[[], bool] | None = None,
 ) -> list[JobResult]:
     """Run ``jobs`` and return their results in submission order.
 
@@ -100,6 +105,12 @@ def run_jobs(
         on_result: progress callback, invoked from the collecting thread
             as ``on_result(result, index, total)`` in submission order
             (long sharded sweeps report per-job progress through this).
+        should_stop: cooperative cancellation, checked immediately before
+            each job starts; once it returns True the remaining jobs are
+            recorded as failed-without-running (the sweep dispatcher
+            revokes an expired in-process lease through this). Jobs
+            already mid-flight run to completion. Not supported with
+            ``kind="process"`` (the predicate is not picklable).
     """
     jobs = list(jobs)
     if max_workers is None:
@@ -112,15 +123,18 @@ def run_jobs(
         return result
 
     if max_workers <= 1 or len(jobs) <= 1:
-        return [_collect(_run_one(job), i) for i, job in enumerate(jobs)]
+        return [_collect(_run_one(job, should_stop), i)
+                for i, job in enumerate(jobs)]
     if kind == "thread":
         pool_cls = ThreadPoolExecutor
     elif kind == "process":
+        if should_stop is not None:
+            raise ValueError("should_stop is not supported with process pools")
         pool_cls = ProcessPoolExecutor
     else:
         raise ValueError(f"unknown executor kind {kind!r}")
     workers = min(max_workers, len(jobs))
     with pool_cls(max_workers=workers) as pool:
-        futures = [pool.submit(_run_one, job) for job in jobs]
+        futures = [pool.submit(_run_one, job, should_stop) for job in jobs]
         # Collect by submission index, not completion order: deterministic.
         return [_collect(f.result(), i) for i, f in enumerate(futures)]

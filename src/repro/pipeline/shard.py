@@ -51,6 +51,7 @@ __all__ = [
     "ShardSpec",
     "decode_result",
     "encode_result",
+    "expand_manifest_paths",
     "merge_manifests",
     "run_shard",
 ]
@@ -281,16 +282,20 @@ def run_shard(
     use_cache: bool | None = None,
     kind: str = "thread",
     on_result=None,
+    should_stop=None,
 ) -> ShardManifest:
     """Execute one shard of an artefact's job list into a manifest.
 
     Failed jobs are captured in the manifest (``ok: false`` with the
     traceback text) rather than raised, so a sweep driver can inspect
     partial shards; :func:`merge_manifests` refuses to fold them.
+    ``should_stop`` (a nullary predicate) cancels jobs not yet started —
+    the dispatcher revokes an expired in-process lease through it, and
+    the cancelled jobs appear as failures in the manifest.
     """
     all_jobs = artifact_jobs(artifact, scale, use_cache)
     results = run_jobs(spec.select(all_jobs), max_workers=jobs, kind=kind,
-                       on_result=on_result)
+                       on_result=on_result, should_stop=should_stop)
     entries = []
     for res in results:
         entry: dict[str, Any] = {
@@ -311,6 +316,30 @@ def run_shard(
         total_jobs=len(all_jobs),
         jobs=entries,
     )
+
+
+def expand_manifest_paths(patterns: list[str]) -> list[Path]:
+    """Manifest paths from literal names and/or glob patterns.
+
+    ``repro merge 'shards/*.json'`` must work even when the shell did
+    not expand the glob (quoted, or run through ``subprocess`` without a
+    shell), and an unmatched pattern must surface as "no manifests"
+    rather than as an unreadable file named ``shards/*.json``. A name
+    that exists on disk is always taken literally — even when it
+    contains glob metacharacters (``results[2026]/s1.json``) — and a
+    nonexistent literal name passes through so a typo'd filename still
+    reports "cannot read" with its name.
+    """
+    import glob as globlib
+
+    paths: list[Path] = []
+    for pattern in patterns:
+        path = Path(pattern)
+        if path.exists() or not any(ch in pattern for ch in "*?["):
+            paths.append(path)
+        else:
+            paths.extend(sorted(Path(p) for p in globlib.glob(pattern)))
+    return paths
 
 
 # ---------------------------------------------------------------------------

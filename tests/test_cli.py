@@ -88,3 +88,53 @@ def test_kernels_listing_includes_format_kernels(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_merge_unmatched_glob_one_line_error(tmp_path, capsys):
+    """An unexpanded/unmatched glob is a clear one-line error, never a
+    traceback or a complaint about a file literally named ``*.json``."""
+    pattern = str(tmp_path / "shards" / "shard*.json")
+    assert main(["merge", pattern]) == 2
+    err = capsys.readouterr().err
+    assert err.count("\n") == 1
+    assert "no manifest files matched" in err
+    assert pattern in err
+
+
+def test_merge_no_arguments_one_line_error(capsys):
+    assert main(["merge"]) == 2
+    err = capsys.readouterr().err
+    assert "no manifest files matched" in err
+
+
+def test_merge_expands_quoted_glob(tmp_path, capsys, monkeypatch):
+    """A quoted glob (no shell expansion) matches manifests itself."""
+    from repro.pipeline.shard import ShardSpec, run_shard
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    for i in (1, 2):
+        run_shard("table3", 0.02, ShardSpec(i, 2)).save(
+            tmp_path / f"shard{i}.json")
+    assert main(["merge", str(tmp_path / "shard*.json")]) == 0
+    assert "Table 3" in capsys.readouterr().out
+
+
+def test_merge_literal_missing_file_still_named(tmp_path, capsys):
+    missing = str(tmp_path / "nope.json")
+    assert main(["merge", missing]) == 1
+    err = capsys.readouterr().err
+    assert "cannot read manifest" in err and "nope.json" in err
+
+
+def test_merge_literal_path_with_brackets(tmp_path, capsys, monkeypatch):
+    """An existing path containing glob metacharacters is taken
+    literally, not parsed as a character class that matches nothing."""
+    from repro.pipeline.shard import ShardSpec, run_shard
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    bracketed = tmp_path / "results[2026]"
+    bracketed.mkdir()
+    paths = [str(run_shard("table3", 0.02, ShardSpec(i, 2)).save(
+        bracketed / f"s{i}.json")) for i in (1, 2)]
+    assert main(["merge", *paths]) == 0
+    assert "Table 3" in capsys.readouterr().out
