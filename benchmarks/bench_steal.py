@@ -1,0 +1,131 @@
+"""Work-stealing planner quality and elastic-queue overhead.
+
+Two properties of the adaptive dispatcher worth tracking:
+
+* **Chunk balance** — cost-planned chunks should shrink the sweep's
+  critical path: we simulate list-scheduling both partitions (workers
+  pull chunks in order, exactly what the dispatcher does) over the same
+  cost table and record the estimated makespan of each, alongside the
+  ideal ``total / workers`` lower bound.
+* **Queue overhead** — the filesystem queue (enqueue + claim-by-rename
+  + heartbeat + collect) must stay negligible next to the chunks'
+  compile/simulate work: an elastic dispatch over in-process workers is
+  compared with the plain inline dispatch of the same sweep.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from benchmarks.conftest import TINY
+
+from repro.pipeline.batch import artifact_jobs
+from repro.pipeline.dispatch import InlineTransport, QueueTransport, dispatch
+from repro.pipeline.fsqueue import worker_loop
+from repro.pipeline.shard import ShardSpec
+from repro.pipeline.steal import load_costs, plan_chunks
+
+
+def _chunk_costs(position_chunks, keys, costs):
+    return [sum(costs.get(keys[p], 0.0) for p in chunk)
+            for chunk in position_chunks]
+
+
+def _makespan(chunk_costs, workers: int) -> float:
+    """List-schedule chunks (in order) onto idle workers — exactly the
+    dispatcher's pull discipline — and return the finish time."""
+    finish = [0.0] * workers
+    for cost in chunk_costs:
+        slot = finish.index(min(finish))
+        finish[slot] += cost
+    return max(finish) if finish else 0.0
+
+
+def test_planner_balance_vs_uniform(benchmark, report, tmp_path,
+                                    fresh_default_cache):
+    """Cost-planned chunks vs uniform slices over a warm cost table."""
+    fresh_default_cache(tmp_path)
+    warm = dispatch("table6", TINY, InlineTransport(2))
+    assert warm.ok and warm.costs_recorded > 0
+
+    keys = [job.key for job in artifact_jobs("table6", TINY)]
+    costs = load_costs("table6", TINY, keys)
+    planned = plan_chunks(keys, costs, slots=2)
+    assert planned is not None
+    uniform = [tuple(p for p in range(len(keys))
+                     if p % warm.chunks == i - 1)
+               for i in range(1, warm.chunks + 1)]
+
+    planned_span = _makespan(_chunk_costs(planned, keys, costs), 2)
+    uniform_span = _makespan(_chunk_costs(uniform, keys, costs), 2)
+    ideal = sum(costs.values()) / 2 or 1.0
+
+    benchmark.pedantic(plan_chunks, args=(keys, costs, 2),
+                       rounds=5, iterations=20)
+
+    report(
+        f"work-stealing chunk balance (table6, scale {TINY}, 2 workers)",
+        f"ideal makespan (total/2)  {ideal * 1e3:9.2f} ms\n"
+        f"uniform  {len(uniform):3d} chunk(s)     "
+        f"{uniform_span * 1e3:9.2f} ms ({uniform_span / ideal:5.2f}x ideal)\n"
+        f"planned  {len(planned):3d} chunk(s)     "
+        f"{planned_span * 1e3:9.2f} ms ({planned_span / ideal:5.2f}x ideal)",
+    )
+    # Guided chunks bound the critical path: no planned chunk exceeds
+    # half an ideal worker-share plus one job, so the estimated makespan
+    # stays close to ideal.
+    assert planned_span <= 2 * ideal + 1e-9
+
+
+def test_queue_transport_overhead(benchmark, report, tmp_path,
+                                  fresh_default_cache):
+    """Elastic queue dispatch vs plain inline dispatch, warm cache."""
+    fresh_default_cache(tmp_path)
+    assert dispatch("table3", TINY, InlineTransport(2)).ok  # warm the cache
+
+    t0 = time.perf_counter()
+    inline = dispatch("table3", TINY, InlineTransport(2))
+    inline_s = time.perf_counter() - t0
+    assert inline.ok
+
+    def queue_dispatch():
+        root = tmp_path / f"q{time.monotonic_ns()}"
+        workers = [threading.Thread(target=worker_loop,
+                                    kwargs=dict(root=root, poll=0.01),
+                                    daemon=True)
+                   for _ in range(2)]
+        for worker in workers:
+            worker.start()
+        result = dispatch("table3", TINY, QueueTransport(root),
+                          lease_timeout=60)
+        for worker in workers:
+            worker.join(10)
+        assert result.ok
+        return result
+
+    t0 = time.perf_counter()
+    queued = queue_dispatch()
+    queue_s = time.perf_counter() - t0
+
+    benchmark.pedantic(queue_dispatch, rounds=3, iterations=1)
+
+    report(
+        f"elastic queue overhead (table3, scale {TINY}, warm cache)",
+        f"inline:2 dispatch       {inline_s * 1e3:9.1f} ms\n"
+        f"queue + 2 workers       {queue_s * 1e3:9.1f} ms "
+        f"({queue_s / inline_s:5.2f}x inline)",
+    )
+    assert queued.merged.text == inline.merged.text
+
+
+def test_explicit_shard_selection_overhead(benchmark):
+    """Explicit-position selection must stay as cheap as modulo."""
+    jobs = list(range(10_000))
+    spec = ShardSpec(1, 4, tuple(range(0, 10_000, 4)))
+
+    def select():
+        return spec.select(jobs)
+
+    result = benchmark(select)
+    assert len(result) == 2500

@@ -16,15 +16,21 @@ hosts and fold each artefact with ``python -m repro merge``.
 
 ``--workers SPEC`` replaces static sharding with the fault-tolerant
 dispatcher (``repro.pipeline.dispatch``): every artefact's job list is
-leased chunk-by-chunk to a pool of workers (``local:N`` subprocesses or
-``ssh:host1,host2``), dead or hung workers lose their lease, and the
-merged artefacts — byte-identical to the serial run — land in results/
-alongside the per-chunk manifests (under results/dispatch/), so an
-interrupted sweep resumes where it stopped.
+leased chunk-by-chunk to a pool of workers (``local:N`` subprocesses,
+``ssh:host1,host2``, or an elastic ``queue:DIR`` pool that `repro
+worker` processes attach to), dead or hung workers lose their lease,
+and the merged artefacts — byte-identical to the serial run — land in
+results/ alongside the per-chunk manifests (under results/dispatch/),
+so an interrupted sweep resumes where it stopped. ``--steal`` plans
+cost-balanced chunks from the per-job cost table recorded by previous
+runs. Each dispatched artefact also writes a ``summary.json`` (chunk
+plan, attempts, faults) and ``costs.json`` (the cost table slice) under
+its results/dispatch/<artefact>/ state directory — the nightly CI sweep
+uploads these so chunk-balance regressions are inspectable across runs.
 
 Usage:  python scripts/run_experiments.py [scale] [--jobs N] [--no-cache]
                                           [--shard I/N [--shard-dir DIR]]
-                                          [--workers SPEC]
+                                          [--workers SPEC] [--steal]
 """
 
 import argparse
@@ -74,35 +80,72 @@ def _run_shard(args, use_cache) -> int:
 
 def _run_dispatch(args, use_cache) -> int:
     """Dispatch every artefact's sweep over a fault-tolerant worker pool."""
-    from repro.pipeline.dispatch import DispatchError, dispatch
+    import json
+
+    from repro.pipeline.batch import artifact_jobs
+    from repro.pipeline.dispatch import (
+        DispatchError,
+        QueueTransport,
+        dispatch,
+        dispatch_summary_payload,
+        parse_transport,
+    )
+    from repro.pipeline.steal import export_costs
+
+    try:
+        transport = parse_transport(args.workers)
+    except DispatchError as exc:
+        print(f"dispatch error: {exc}", file=sys.stderr)
+        return 2
+    elastic = isinstance(transport, QueueTransport)
 
     OUT.mkdir(exist_ok=True)
     state_root = OUT / "dispatch"
     t0 = time.time()
     bad = 0
-    for artifact, at in _artifact_scales(args.scale):
-        def event(message, _artifact=artifact):
-            print(f"[{_artifact}] {message}", file=sys.stderr)
+    try:
+        for artifact, at in _artifact_scales(args.scale):
+            def event(message, _artifact=artifact):
+                print(f"[{_artifact}] {message}", file=sys.stderr)
 
-        try:
-            result = dispatch(
-                artifact, at, args.workers,
-                use_cache=use_cache, worker_jobs=args.jobs,
-                state_dir=state_root / artifact, resume=True,
-                on_event=event,
-            )
-        except DispatchError as exc:
-            print(f"dispatch error: {exc}", file=sys.stderr)
-            return 2
-        print(result.summary())
-        if result.ok:
-            (OUT / f"{artifact}.txt").write_text(result.merged.text + "\n")
-            print(f"\n##### {artifact}.txt (scale={at})")
-            print(result.merged.text)
-        else:
-            bad += 1
-            for line in result.failure_report():
-                print(line, file=sys.stderr)
+            state_dir = state_root / artifact
+            try:
+                result = dispatch(
+                    artifact, at, transport,
+                    use_cache=use_cache, worker_jobs=args.jobs,
+                    state_dir=state_dir, resume=True,
+                    steal=args.steal,
+                    # An elastic pool must survive between artefacts;
+                    # the finally below drains it after the last one.
+                    stop_queue=not elastic,
+                    on_event=event,
+                )
+            except DispatchError as exc:
+                print(f"dispatch error: {exc}", file=sys.stderr)
+                return 2
+            print(result.summary())
+            # Inspectable residue per artefact: the dispatch summary
+            # (chunk plan, attempts, faults) and the cost-table slice
+            # the next --steal plan would read. The nightly sweep
+            # uploads both.
+            (state_dir / "summary.json").write_text(
+                json.dumps(dispatch_summary_payload(result), indent=2) + "\n")
+            keys = [job.key for job in artifact_jobs(artifact, at)]
+            (state_dir / "costs.json").write_text(
+                json.dumps(export_costs(artifact, at, keys), indent=2) + "\n")
+            if result.ok:
+                (OUT / f"{artifact}.txt").write_text(result.merged.text + "\n")
+                print(f"\n##### {artifact}.txt (scale={at})")
+                print(result.merged.text)
+            else:
+                bad += 1
+                for line in result.failure_report():
+                    print(line, file=sys.stderr)
+    finally:
+        if elastic:
+            # Raise the stop sentinel exactly once, after the whole
+            # sweep (or on any error), so attached workers exit.
+            transport.shutdown()
     print(f"\nTotal time: {time.time() - t0:.1f}s; manifests in "
           f"{state_root}/; artefacts in {OUT}/")
     return 1 if bad else 0
@@ -120,14 +163,21 @@ def main() -> int:
                         help="manifest output directory for --shard")
     parser.add_argument("--workers", metavar="SPEC", default=None,
                         help="dispatch all artefacts over a worker pool "
-                             "(local:N or ssh:host1,host2) with dynamic "
-                             "leases and automatic resume")
+                             "(local:N, ssh:host1,host2, or queue:DIR) "
+                             "with dynamic leases and automatic resume")
+    parser.add_argument("--steal", action="store_true",
+                        help="with --workers: plan cost-balanced chunks "
+                             "from the recorded per-job cost table")
     args = parser.parse_args()
     use_cache = False if args.no_cache else None
 
     if args.shard and args.workers:
         print("--shard and --workers are mutually exclusive: static "
               "slicing and the dispatcher both own the partition",
+              file=sys.stderr)
+        return 2
+    if args.steal and not args.workers:
+        print("--steal needs --workers: only the dispatcher plans chunks",
               file=sys.stderr)
         return 2
     if args.workers:

@@ -16,11 +16,18 @@ Subcommands:
   streams the manifest to stdout, which is how dispatch workers report).
 * ``dispatch`` — drive an artefact's whole job list through a pool of
   fault-tolerant workers (``--workers local:N`` / ``ssh:h1,h2`` /
-  ``inline:N``): idle workers lease chunks dynamically, dead or hung
-  workers lose their lease and the chunk is reassigned, persistently
-  failing jobs are quarantined, and the merged output is byte-identical
-  to the serial ``tables`` run. ``--resume DIR`` persists per-chunk
-  manifests and picks up a partially completed dispatch.
+  ``inline:N`` / ``queue:DIR``): idle workers lease chunks dynamically,
+  dead or hung workers lose their lease and the chunk is reassigned,
+  persistently failing jobs are quarantined, and the merged output is
+  byte-identical to the serial ``tables`` run. ``--resume DIR``
+  persists per-chunk manifests and picks up a partially completed
+  dispatch; ``--steal`` cuts cost-balanced chunks from the persistent
+  per-job cost table instead of uniform slices.
+* ``worker``   — attach an elastic worker to a ``queue:DIR`` dispatch:
+  claims chunk tasks by atomic rename, heartbeats while running them,
+  streams manifests back through the queue directory, and exits when
+  the dispatcher raises the stop sentinel. Start and stop workers on
+  any host (sharing the directory) at any point mid-sweep.
 * ``merge``    — validate shard manifests and fold them into the full
   artefact, byte-identical to the serial ``tables`` output. Arguments
   may be glob patterns (quoted, for non-shell callers).
@@ -347,6 +354,8 @@ def _cmd_dispatch(args) -> int:
             worker_jobs=args.jobs,
             state_dir=args.resume,
             resume=args.resume is not None,
+            steal=args.steal,
+            min_chunk=args.min_chunk,
             on_event=event,
         )
     except DispatchError as exc:
@@ -366,6 +375,25 @@ def _cmd_dispatch(args) -> int:
     if args.out:
         Path(args.out).write_text(result.merged.text + "\n")
     print(result.merged.text)
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    from repro.pipeline.fsqueue import worker_loop
+
+    def event(message: str) -> None:
+        if not args.quiet:
+            print(message, file=sys.stderr)
+
+    try:
+        completed = worker_loop(args.dir, poll=args.poll,
+                                max_chunks=args.max_chunks, jobs=args.jobs,
+                                on_event=event)
+    except KeyboardInterrupt:
+        print("worker interrupted; any claimed chunk will be re-leased "
+              "after its lease expires", file=sys.stderr)
+        return 130
+    print(f"worker done: {completed} chunk(s) completed", file=sys.stderr)
     return 0
 
 
@@ -474,9 +502,18 @@ def main(argv: list[str] | None = None) -> int:
                                  "format_sweep"])
     p_disp.add_argument("--workers", default="local:2", metavar="SPEC",
                         help="transport spec: local:N subprocesses "
-                             "(default local:2), ssh:host1,host2, or "
-                             "inline:N in-process threads")
+                             "(default local:2), ssh:host1,host2, "
+                             "inline:N in-process threads, or queue:DIR "
+                             "(elastic pool; attach `repro worker DIR` "
+                             "processes at any time)")
     p_disp.add_argument("--scale", type=float, default=0.25)
+    p_disp.add_argument("--steal", action="store_true",
+                        help="cut cost-balanced chunks from the recorded "
+                             "per-job cost table (uniform fallback on the "
+                             "first sweep, which records the costs)")
+    p_disp.add_argument("--min-chunk", type=int, default=1, metavar="N",
+                        help="smallest planned chunk, in jobs (the "
+                             "steal-tail granularity; default 1)")
     p_disp.add_argument("--chunks-per-worker", type=int, default=4,
                         help="lease granularity: chunks cut per worker "
                              "slot (default 4)")
@@ -511,6 +548,23 @@ def main(argv: list[str] | None = None) -> int:
                          help="merge manifests produced by a different "
                               "compiler version (hashes must still agree "
                               "between shards)")
+
+    p_work = sub.add_parser(
+        "worker",
+        help="attach an elastic worker to a queue:DIR dispatch (claims "
+             "chunk tasks until the dispatcher stops the queue)")
+    p_work.add_argument("dir", help="the queue directory given to "
+                                    "`dispatch --workers queue:DIR`")
+    p_work.add_argument("--poll", type=float, default=0.5, metavar="S",
+                        help="seconds between empty-queue scans "
+                             "(default 0.5)")
+    p_work.add_argument("--max-chunks", type=int, default=None, metavar="N",
+                        help="detach after completing N chunks")
+    p_work.add_argument("--jobs", type=int, default=None,
+                        help="thread count per chunk (default: the task's "
+                             "own setting, else REPRO_JOBS or 1)")
+    p_work.add_argument("--quiet", action="store_true",
+                        help="suppress per-chunk progress on stderr")
 
     p_formats = sub.add_parser(
         "formats", help="list registered whole-tensor formats")
@@ -550,6 +604,7 @@ def main(argv: list[str] | None = None) -> int:
         "tables": _cmd_tables,
         "batch": _cmd_batch,
         "dispatch": _cmd_dispatch,
+        "worker": _cmd_worker,
         "merge": _cmd_merge,
         "formats": _cmd_formats,
         "convert": _cmd_convert,

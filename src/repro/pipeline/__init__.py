@@ -21,6 +21,13 @@ and benchmark drivers all route through:
   subprocesses, SSH hosts, or in-process threads), reassigns the chunks
   of dead or hung workers, quarantines persistently failing jobs, and
   folds the collected manifests through the validating merge.
+* :mod:`repro.pipeline.steal` — cost-model-driven work stealing: every
+  dispatch records observed per-job wall times into a persistent
+  ``cost`` cache stage, and ``--steal`` plans cost-balanced
+  explicit-index chunks from the table (uniform fallback when cold).
+* :mod:`repro.pipeline.fsqueue` — the ``queue:DIR`` elastic transport:
+  a filesystem job queue with atomic-rename claim semantics where
+  ``repro worker`` processes attach and detach mid-sweep.
 """
 
 from repro.pipeline.cache import (
@@ -62,10 +69,17 @@ from repro.pipeline.dispatch import (
     DispatchResult,
     InlineTransport,
     LocalTransport,
+    QueueTransport,
     SshTransport,
     Transport,
     dispatch,
     parse_transport,
+)
+from repro.pipeline.fsqueue import worker_loop
+from repro.pipeline.steal import (
+    load_costs,
+    plan_chunks,
+    record_manifest_costs,
 )
 
 __all__ = [
@@ -82,6 +96,7 @@ __all__ = [
     "ManifestError",
     "MergeError",
     "MergedArtifact",
+    "QueueTransport",
     "ShardManifest",
     "ShardSpec",
     "SshTransport",
@@ -98,14 +113,18 @@ __all__ = [
     "fingerprint_stmt",
     "fingerprint_tensor",
     "format_artifact",
+    "load_costs",
     "make_key",
     "memoize",
     "memoize_stage",
     "merge_manifests",
     "parse_transport",
+    "plan_chunks",
+    "record_manifest_costs",
     "run_artifact",
     "run_batch",
     "run_jobs",
     "run_shard",
     "stage_version",
+    "worker_loop",
 ]

@@ -25,6 +25,7 @@ __all__ = [
     "artifact_jobs",
     "assemble_artifact",
     "format_artifact",
+    "record_result_costs",
     "run_artifact",
     "run_batch",
 ]
@@ -261,6 +262,30 @@ def format_artifact(artifact: str, data) -> str:
     return formatter(data)
 
 
+def record_result_costs(artifact: str, scale: float,
+                        results: list[JobResult]) -> int:
+    """Record each successful job's observed wall time in the cost table.
+
+    Every run that executes an artefact's jobs — serial ``tables``, a
+    ``batch`` invocation, a shard worker — feeds the work-stealing
+    planner's persistent cost model (:mod:`repro.pipeline.steal`), so a
+    later ``dispatch --steal`` plans from warm data no matter how the
+    sweep was last executed. Returns the number of entries written
+    (zero when caching is disabled).
+    """
+    from repro.pipeline.cache import cache_enabled
+    from repro.pipeline.steal import record_cost
+
+    if not cache_enabled():
+        return 0
+    recorded = 0
+    for res in results:
+        if res.ok:
+            record_cost(artifact, scale, res.job.key, res.seconds)
+            recorded += 1
+    return recorded
+
+
 # ---------------------------------------------------------------------------
 # Runners
 # ---------------------------------------------------------------------------
@@ -306,6 +331,7 @@ def run_artifact(
     """
     results = run_jobs(artifact_jobs(artifact, scale, use_cache),
                        max_workers=jobs, kind=kind)
+    record_result_costs(artifact, scale, results)
     return assemble_artifact(artifact, results)
 
 
@@ -329,6 +355,7 @@ def run_batch(
     for artifact in artifacts:
         results = run_jobs(artifact_jobs(artifact, scale, use_cache),
                            max_workers=jobs, kind=kind)
+        record_result_costs(artifact, scale, results)
         all_results[artifact] = results
         if all(res.ok for res in results):
             data = assemble_artifact(artifact, results)

@@ -26,6 +26,12 @@ provides that memoization for the whole pipeline:
   ``dataset`` stage is keyed by a hash of only the data/format/tensor
   sources (compiler edits keep datasets warm) and is exempt from
   ``--no-cache``, so a forced recompile never regenerates datasets.
+* :func:`get_stage` / :func:`put_stage` read and write staged entries
+  directly (no compute callback) for stages that *record observations*
+  rather than memoize computations — the work-stealing dispatcher's
+  ``cost`` stage stores observed per-job wall times this way, keyed on
+  the same (kernel, dataset, scale) coordinates the ``stats`` stage
+  uses, and the planner treats a missing entry as "no cost known yet".
 
 Environment knobs (read dynamically, so tests can monkeypatch them):
 
@@ -58,9 +64,11 @@ __all__ = [
     "disk_cache_dir",
     "fingerprint_stmt",
     "fingerprint_tensor",
+    "get_stage",
     "make_key",
     "memoize",
     "memoize_stage",
+    "put_stage",
     "stage_version",
     "subsystem_version",
 ]
@@ -568,6 +576,35 @@ def memoize(kind: str, parts: tuple, compute, use_cache: bool | None = None):
         return compute()
     return default_cache().get_or_compute(make_key(kind, *parts), compute,
                                           stage=kind)
+
+
+def get_stage(stage: str, parts: tuple, default: Any = None) -> Any:
+    """Read one staged entry directly (no compute callback).
+
+    For observation stages — entries *recorded* by one run and *read* by
+    a later one (the dispatcher's ``cost`` stage) — where a miss is an
+    ordinary answer ("nothing observed yet"), not a trigger to compute.
+    Returns ``default`` on a miss or when caching is disabled.
+    """
+    if not cache_enabled():
+        return default
+    version = stage_version(stage)
+    return default_cache().get(make_key(stage, *parts, version=version),
+                               default, version=version)
+
+
+def put_stage(stage: str, parts: tuple, value: Any) -> None:
+    """Write one staged entry directly (the counterpart of :func:`get_stage`).
+
+    A no-op when ``REPRO_NO_CACHE`` disables caching; otherwise the entry
+    lands in the stage's version tree, shared by every worker pointing at
+    the same ``REPRO_CACHE_DIR``.
+    """
+    if not cache_enabled():
+        return
+    version = stage_version(stage)
+    default_cache().put(make_key(stage, *parts, version=version), value,
+                        version=version)
 
 
 def memoize_stage(stage: str, parts: tuple, compute,

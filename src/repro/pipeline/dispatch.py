@@ -36,6 +36,17 @@ Transports are pluggable behind :class:`Transport`:
   runs remotely and streams its manifest back over stdout.
 * ``inline:N`` — N in-process threads (no subprocess, shares this
   process's monkeypatchable state; used by tests and tiny sweeps).
+* ``queue:DIR`` — an **elastic** pool: the dispatcher enqueues chunk
+  tasks into a filesystem queue (:mod:`repro.pipeline.fsqueue`) and
+  ``repro worker DIR`` processes attach and detach mid-sweep; the
+  dispatcher owns only enqueue, lease expiry, and collect.
+
+With ``steal=True`` the chunk partition itself adapts: observed per-job
+wall times (recorded into a persistent ``cost`` table by every
+dispatch — see :mod:`repro.pipeline.steal`) shape cost-balanced
+explicit-index chunks, large first and shrinking toward a ``min_chunk``
+tail, so idle workers always find small work to steal. The first sweep
+(no costs recorded yet) falls back to uniform chunking.
 """
 
 from __future__ import annotations
@@ -54,7 +65,13 @@ from pathlib import Path
 from typing import Any, Callable
 
 from repro.pipeline.batch import ARTIFACT_NAMES, artifact_jobs
-from repro.pipeline.cache import cache_env_knobs, compiler_version
+from repro.pipeline.cache import cache_enabled, cache_env_knobs, compiler_version
+from repro.pipeline.fsqueue import (
+    ERROR_FORMAT,
+    QueueError,
+    QueueTransport,
+    queue_task_payload,
+)
 from repro.pipeline.shard import (
     MergedArtifact,
     MergeError,
@@ -63,6 +80,14 @@ from repro.pipeline.shard import (
     merge_manifests,
     run_shard,
 )
+from repro.pipeline.steal import (
+    DEFAULT_MIN_CHUNK,
+    describe_plan,
+    explicit_specs,
+    load_costs,
+    plan_chunks,
+    record_manifest_costs,
+)
 
 __all__ = [
     "ChunkRequest",
@@ -70,6 +95,7 @@ __all__ = [
     "DispatchResult",
     "InlineTransport",
     "LocalTransport",
+    "QueueTransport",
     "SshTransport",
     "Transport",
     "WorkerHandle",
@@ -380,8 +406,9 @@ def parse_transport(spec: str) -> Transport:
     """Parse a ``--workers`` spec into a transport.
 
     ``local:N`` (subprocess pool), ``ssh:host1,host2`` (one slot per
-    host), ``inline:N`` (in-process threads). A bare integer means
-    ``local:N``.
+    host), ``inline:N`` (in-process threads), ``queue:DIR`` (elastic
+    filesystem queue — ``repro worker DIR`` processes attach and detach
+    mid-sweep). A bare integer means ``local:N``.
     """
     text = spec.strip()
     kind, sep, arg = text.partition(":")
@@ -398,9 +425,14 @@ def parse_transport(spec: str) -> Transport:
         ) from None
     if kind == "ssh":
         return SshTransport(arg.split(","))
+    if kind == "queue":
+        try:
+            return QueueTransport(arg)
+        except QueueError as exc:
+            raise DispatchError(str(exc)) from None
     raise DispatchError(
         f"unknown transport {spec!r}; expected local:N, ssh:host1,host2, "
-        f"or inline:N"
+        f"inline:N, or queue:DIR"
     )
 
 
@@ -433,6 +465,9 @@ class DispatchResult:
     attempts: int
     seconds: float
     merge_error: str | None = None  #: the final fold's refusal, if any
+    steal: bool = False  #: chunks were cost-planned (not uniform fallback)
+    plan: list[dict] | None = None  #: per-chunk size/estimated-cost report
+    costs_recorded: int = 0  #: cost-table entries written by this dispatch
 
     @property
     def ok(self) -> bool:
@@ -449,9 +484,10 @@ class DispatchResult:
                       f"{len(self.lost_chunks)} lost chunk(s)")
         resumed = (f", {self.resumed_chunks} resumed"
                    if self.resumed_chunks else "")
+        planned = ", cost-planned" if self.steal else ""
         return (f"dispatch {self.artifact} (scale {self.scale}) over "
-                f"{self.transport}: {jobs} job(s) in {self.chunks} chunk(s), "
-                f"{self.attempts} lease(s){resumed}, "
+                f"{self.transport}: {jobs} job(s) in {self.chunks} "
+                f"chunk(s){planned}, {self.attempts} lease(s){resumed}, "
                 f"{self.seconds:.2f}s [{status}]")
 
     def failure_report(self) -> list[str]:
@@ -473,14 +509,18 @@ def _load_resume_state(
     artifact: str,
     scale: float,
     on_event: Callable[[str], None],
+    expected: dict[int, ShardSpec] | None = None,
 ) -> tuple[int | None, dict[int, ShardManifest]]:
     """Completed chunks from a previous dispatch's manifest files.
 
     Manifests from another artefact/scale/compiler (or with failed jobs)
     are ignored — their chunks simply run again, served mostly from the
-    staged cache.
+    staged cache. With ``expected`` (a cost-planned partition), only
+    manifests whose shard spec — including explicit positions — matches
+    the current plan are reused: a replanned chunk layout invalidates
+    the old pieces, which replay cheaply from the staged cache anyway.
     """
-    chunks: int | None = None
+    chunks: int | None = len(expected) if expected is not None else None
     done: dict[int, ShardManifest] = {}
     for path in sorted(state_dir.glob(f"{artifact}.chunk*.json")):
         try:
@@ -496,6 +536,17 @@ def _load_resume_state(
         if manifest.failures():
             on_event(f"resume: re-running chunk {manifest.shard} "
                      f"({len(manifest.failures())} failed job(s) on disk)")
+            continue
+        if expected is not None:
+            if manifest.shard != expected.get(manifest.shard.index):
+                on_event(f"resume: ignoring {path.name} "
+                         f"(chunk plan changed)")
+                continue
+            done[manifest.shard.index] = manifest
+            continue
+        if manifest.shard.positions is not None:
+            on_event(f"resume: ignoring {path.name} (cost-planned chunk, "
+                     f"this dispatch is uniform)")
             continue
         if chunks is None:
             chunks = manifest.shard.count
@@ -522,8 +573,27 @@ def _parse_worker_manifest(
         err = handle.error_text().strip()
         tail = err.splitlines()[-1] if err else "no output"
         return None, f"worker produced no manifest ({tail})"
+    return _validate_manifest_text(text, request)
+
+
+def _validate_manifest_text(
+    text: str, request: ChunkRequest
+) -> tuple[ShardManifest | None, str]:
+    """Validate raw manifest JSON against the chunk it should answer for.
+
+    Shared by the pool loop (worker stdout) and the queue loop (result
+    files); both must refuse wrong-chunk, wrong-compiler, or malformed
+    answers at acceptance, not at the final merge fold.
+    """
     try:
-        manifest = ShardManifest.from_dict(json.loads(text),
+        data = json.loads(text)
+        if isinstance(data, dict) and data.get("format") == ERROR_FORMAT:
+            # A queue worker that could not run the task at all reports
+            # the root cause instead of a manifest; surface *its* error,
+            # not a generic format refusal.
+            return None, (f"worker reported a task error: "
+                          f"{data.get('error', 'unknown')}")
+        manifest = ShardManifest.from_dict(data,
                                            source=f"chunk {request.spec}")
     except (ValueError, TypeError) as exc:
         return None, f"worker manifest unreadable: {exc}"
@@ -545,7 +615,7 @@ def _parse_worker_manifest(
 def dispatch(
     artifact: str,
     scale: float,
-    transport: Transport | str,
+    transport: Transport | QueueTransport | str,
     *,
     chunks_per_worker: int = DEFAULT_CHUNKS_PER_WORKER,
     lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
@@ -554,20 +624,37 @@ def dispatch(
     worker_jobs: int | None = None,
     state_dir: str | Path | None = None,
     resume: bool = False,
+    steal: bool = False,
+    min_chunk: int = DEFAULT_MIN_CHUNK,
+    stop_queue: bool = True,
     on_event: Callable[[str], None] | None = None,
 ) -> DispatchResult:
     """Drive ``artifact``'s whole job list through a worker pool.
 
-    The job list is cut into :func:`chunk_count` shard-slices; idle
-    worker slots lease pending chunks until none remain. A worker that
-    exits without a valid manifest, or outlives ``lease_timeout``, loses
-    its lease: the chunk is reassigned (up to ``retries`` extra
-    attempts). A chunk whose manifest still contains failed jobs after
-    the retry bound has those jobs quarantined. When every chunk
-    completed cleanly the manifests fold through
-    :func:`~repro.pipeline.shard.merge_manifests` into output
-    byte-identical to the serial run; otherwise ``merged`` is ``None``
-    and the quarantine/lost lists say exactly what is missing.
+    The job list is cut into :func:`chunk_count` uniform shard-slices —
+    or, with ``steal=True``, into cost-balanced explicit-index chunks
+    planned from the persistent cost table (falling back to uniform on
+    the first sweep, before any costs are recorded); ``min_chunk``
+    floors the planned steal-tail granularity. Idle worker slots lease
+    pending chunks until none remain. A worker that exits without a
+    valid manifest, or outlives ``lease_timeout``, loses its lease: the
+    chunk is reassigned (up to ``retries`` extra attempts). A chunk
+    whose manifest still contains failed jobs after the retry bound has
+    those jobs quarantined. When every chunk completed cleanly the
+    manifests fold through :func:`~repro.pipeline.shard.merge_manifests`
+    into output byte-identical to the serial run; otherwise ``merged``
+    is ``None`` and the quarantine/lost lists say exactly what is
+    missing. Every dispatch records its jobs' observed wall times into
+    the cost table, so the *next* ``steal=True`` dispatch plans from
+    warm data.
+
+    A :class:`QueueTransport` (``queue:DIR``) swaps the pool loop for an
+    elastic one: chunks are enqueued as task files, ``repro worker DIR``
+    processes attach and detach mid-sweep, and a lease whose worker goes
+    silent past ``lease_timeout`` is revoked and re-enqueued. By default
+    the queue's stop sentinel is raised when the dispatch ends, draining
+    attached workers; a multi-artefact sweep passes ``stop_queue=False``
+    on all but its last dispatch so the pool survives between artefacts.
 
     ``state_dir`` persists per-chunk manifests (and enables
     ``resume=True`` to skip chunks already completed by an earlier,
@@ -585,19 +672,46 @@ def dispatch(
     if state_dir is not None:
         state_path = Path(state_dir)
         state_path.mkdir(parents=True, exist_ok=True)
+    if resume and state_path is None:
+        raise DispatchError("resume requires a state directory")
 
-    total = len(artifact_jobs(artifact, scale))
+    keys = [job.key for job in artifact_jobs(artifact, scale)]
+    total = len(keys)
+
+    # -- chunk planning (uniform, or cost-balanced under --steal) -----------
+    specs: dict[int, ShardSpec] = {}
+    plan_report: list[dict] | None = None
+    stolen = False
+    if steal:
+        costs = load_costs(artifact, scale, keys)
+        planned = plan_chunks(keys, costs, transport.slots, min_chunk)
+        if planned is None:
+            events("steal: no recorded costs for this job list; falling "
+                   "back to uniform chunking (this sweep records them)")
+        else:
+            spec_list = explicit_specs(planned)
+            specs = {s.index: s for s in spec_list}
+            plan_report = describe_plan(spec_list, keys, costs)
+            stolen = True
+            events(f"steal: planned {len(spec_list)} cost-balanced "
+                   f"chunk(s) from {len(costs)}/{total} recorded cost(s)")
+
     chunks: int | None = None
     done: dict[int, ShardManifest] = {}
     if resume:
-        if state_path is None:
-            raise DispatchError("resume requires a state directory")
-        chunks, done = _load_resume_state(state_path, artifact, scale, events)
+        chunks, done = _load_resume_state(
+            state_path, artifact, scale, events,
+            expected=specs if stolen else None)
         if done:
             events(f"resume: {len(done)}/{chunks} chunk(s) already complete "
                    f"in {state_path}")
-    if chunks is None:
+    if stolen:
+        chunks = len(specs)
+    elif chunks is None:
         chunks = chunk_count(total, transport.slots, chunks_per_worker)
+    if not specs:
+        specs = {i: ShardSpec(i, chunks) for i in range(1, chunks + 1)}
+    resumed_indices = set(done)
     resumed = len(done)
 
     pending = collections.deque(
@@ -606,31 +720,29 @@ def dispatch(
     last_error: dict[int, str] = {}
     lost: dict[int, str] = {}
     quarantined: list[dict] = []
-    #: slot -> (chunk index, handle, lease deadline)
-    active: dict[int, tuple[int, WorkerHandle, float]] = {}
     total_attempts = 0
 
     def request_for(index: int) -> ChunkRequest:
-        return ChunkRequest(artifact, scale, ShardSpec(index, chunks),
+        return ChunkRequest(artifact, scale, specs[index],
                             use_cache=use_cache, jobs=worker_jobs)
 
     def chunk_failed(index: int, why: str) -> None:
         last_error[index] = why
         if attempts[index] <= retries:
-            events(f"chunk {index}/{chunks}: {why}; reassigning "
+            events(f"chunk {specs[index]}: {why}; reassigning "
                    f"(attempt {attempts[index]} of {1 + retries})")
             pending.append(index)
         else:
-            events(f"chunk {index}/{chunks}: {why}; retry bound reached, "
+            events(f"chunk {specs[index]}: {why}; retry bound reached, "
                    f"chunk lost")
             lost[index] = why
 
     def accept(index: int, manifest: ShardManifest) -> None:
         if manifest.failures() and attempts[index] <= retries:
-            keys = [":".join(map(str, e["key"]))
-                    for e in manifest.failures()]
-            chunk_failed(index, f"{len(keys)} job(s) failed ({keys[0]}...)"
-                         if len(keys) > 1 else f"job {keys[0]} failed")
+            failed = [":".join(map(str, e["key"]))
+                      for e in manifest.failures()]
+            chunk_failed(index, f"{len(failed)} job(s) failed ({failed[0]}...)"
+                         if len(failed) > 1 else f"job {failed[0]} failed")
             return
         done[index] = manifest
         if state_path is not None:
@@ -642,62 +754,165 @@ def dispatch(
                     "error": entry.get("error", ""),
                     "chunk": index,
                 })
-            events(f"chunk {index}/{chunks}: done with "
+            events(f"chunk {specs[index]}: done with "
                    f"{len(manifest.failures())} job(s) quarantined after "
                    f"{attempts[index]} attempt(s)")
         else:
-            events(f"chunk {index}/{chunks}: done "
+            events(f"chunk {specs[index]}: done "
                    f"({len(manifest.jobs)} job(s))")
 
-    try:
-        while pending or active:
-            # Lease pending chunks to idle slots.
-            idle = [s for s in range(transport.slots) if s not in active]
-            for slot in idle:
-                if not pending:
-                    break
-                index = pending.popleft()
-                attempts[index] = attempts.get(index, 0) + 1
-                total_attempts += 1
-                handle = transport.launch(slot, request_for(index))
-                active[slot] = (index, handle,
-                                time.monotonic() + lease_timeout)
-                events(f"chunk {index}/{chunks} -> {transport} slot {slot} "
-                       f"(attempt {attempts[index]})")
+    def next_attempt(index: int) -> int:
+        nonlocal total_attempts
+        attempts[index] = attempts.get(index, 0) + 1
+        total_attempts += 1
+        return attempts[index]
 
-            # Poll active leases.
-            for slot in list(active):
-                index, handle, deadline = active[slot]
-                code = handle.poll()
-                if code is None:
-                    if time.monotonic() > deadline:
-                        handle.kill()
-                        handle.close()
-                        del active[slot]
+    def pool_loop() -> None:
+        """Launch-style transports: the dispatcher owns the worker pool."""
+        #: slot -> (chunk index, handle, lease deadline)
+        active: dict[int, tuple[int, WorkerHandle, float]] = {}
+        try:
+            while pending or active:
+                # Lease pending chunks to idle slots.
+                idle = [s for s in range(transport.slots) if s not in active]
+                for slot in idle:
+                    if not pending:
+                        break
+                    index = pending.popleft()
+                    attempt = next_attempt(index)
+                    handle = transport.launch(slot, request_for(index))
+                    active[slot] = (index, handle,
+                                    time.monotonic() + lease_timeout)
+                    events(f"chunk {specs[index]} -> {transport} slot {slot} "
+                           f"(attempt {attempt})")
+
+                # Poll active leases.
+                for slot in list(active):
+                    index, handle, deadline = active[slot]
+                    code = handle.poll()
+                    if code is None:
+                        if time.monotonic() > deadline:
+                            handle.kill()
+                            handle.close()
+                            del active[slot]
+                            chunk_failed(
+                                index,
+                                f"lease expired after {lease_timeout:g}s "
+                                f"(worker hung?)")
+                        continue
+                    del active[slot]
+                    manifest, why = _parse_worker_manifest(handle,
+                                                           request_for(index))
+                    handle.close()
+                    if manifest is None:
                         chunk_failed(index,
-                                     f"lease expired after {lease_timeout:g}s "
-                                     f"(worker hung?)")
-                    continue
-                del active[slot]
-                manifest, why = _parse_worker_manifest(handle,
-                                                       request_for(index))
-                handle.close()
-                if manifest is None:
-                    chunk_failed(index,
-                                 f"worker exited with code {code}: {why}")
-                else:
-                    accept(index, manifest)
+                                     f"worker exited with code {code}: {why}")
+                    else:
+                        accept(index, manifest)
 
-            if active:
-                time.sleep(_POLL_INTERVAL)
-    finally:
-        # An escaping exception (Ctrl-C, a transport launch error) must
-        # not orphan in-flight workers: revoke every live lease.
-        for _index, handle, _deadline in active.values():
-            handle.kill()
-            handle.close()
+                if active:
+                    time.sleep(_POLL_INTERVAL)
+        finally:
+            # An escaping exception (Ctrl-C, a transport launch error)
+            # must not orphan in-flight workers: revoke every live lease.
+            for _index, handle, _deadline in active.values():
+                handle.kill()
+                handle.close()
+
+    def queue_loop() -> None:
+        """Queue transport: elastic workers attach and detach mid-sweep.
+
+        The dispatcher only enqueues task files, revokes silent leases,
+        and collects result files — it never launches a worker, so the
+        pool can grow (a host attaches ``repro worker DIR``) or shrink
+        (a worker is killed; its lease expires and the chunk is
+        re-enqueued) at any point during the sweep.
+        """
+        transport.prepare()
+        outstanding: set[int] = set()
+        idle_scans = 0
+        # Scan far less often than the in-memory pool loop: every scan
+        # globs the (possibly NFS-shared) queue directories, chunks run
+        # for seconds-to-minutes, and workers only poll every ~0.5s —
+        # but keep sub-second leases (tests) responsive.
+        poll = min(0.5, max(_POLL_INTERVAL, lease_timeout / 20))
+        try:
+            while pending or outstanding:
+                while pending:
+                    index = pending.popleft()
+                    attempt = next_attempt(index)
+                    transport.enqueue(index, attempt, queue_task_payload(
+                        artifact, scale, specs[index], use_cache,
+                        worker_jobs, lease_timeout=lease_timeout))
+                    outstanding.add(index)
+                    events(f"chunk {specs[index]} -> {transport} "
+                           f"(attempt {attempt})")
+
+                progressed = False
+                for index, text, path in transport.collect():
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+                    if index not in outstanding:
+                        continue  # late duplicate of a finished chunk
+                    progressed = True
+                    manifest, why = _validate_manifest_text(
+                        text, request_for(index))
+                    outstanding.discard(index)
+                    # Drop any still-pending duplicate attempt before
+                    # deciding this chunk's fate.
+                    transport.withdraw(index)
+                    if manifest is None:
+                        chunk_failed(index, f"queue worker answered with an "
+                                            f"invalid manifest: {why}")
+                    else:
+                        accept(index, manifest)
+
+                for index in transport.expired_leases(lease_timeout):
+                    if index not in outstanding:
+                        continue
+                    progressed = True
+                    outstanding.discard(index)
+                    chunk_failed(index,
+                                 f"lease expired after {lease_timeout:g}s "
+                                 f"(worker detached?)")
+
+                if pending or not outstanding:
+                    continue
+                idle_scans = 0 if progressed else idle_scans + 1
+                if idle_scans and idle_scans * poll >= 30:
+                    idle_scans = 0
+                    queued, claimed = transport.pending_counts()
+                    events(f"queue: {queued} task(s) waiting, {claimed} "
+                           f"claimed; attach workers with `repro worker "
+                           f"{transport.root}`")
+                time.sleep(poll)
+        finally:
+            # Withdraw leftover tasks; with stop_queue also raise the
+            # stop sentinel so attached workers drain and exit instead
+            # of spinning (a multi-artefact sweep keeps them attached).
+            if stop_queue:
+                transport.shutdown()
+            else:
+                transport.drain()
+
+    if isinstance(transport, QueueTransport):
+        queue_loop()
+    else:
+        pool_loop()
 
     manifests = [done[i] for i in sorted(done)]
+    # Record observed wall times from freshly-executed chunks only:
+    # resumed manifests carry a *previous* run's times, and re-stamping
+    # them would overwrite fresher observations ("latest wins"). Fresh
+    # chunks must be recorded dispatcher-side for transports whose
+    # workers do not share this cache (ssh without a common mount).
+    fresh = [done[i] for i in sorted(done) if i not in resumed_indices]
+    costs_recorded = 0
+    if cache_enabled() and fresh:
+        costs_recorded = record_manifest_costs(fresh)
+        events(f"cost table: recorded {costs_recorded} job time(s)")
     merged: MergedArtifact | None = None
     merge_error: str | None = None
     if not lost and not quarantined and len(done) == chunks:
@@ -722,6 +937,9 @@ def dispatch(
         attempts=total_attempts,
         seconds=time.perf_counter() - start,
         merge_error=merge_error,
+        steal=stolen,
+        plan=plan_report,
+        costs_recorded=costs_recorded,
     )
 
 
@@ -739,4 +957,7 @@ def dispatch_summary_payload(result: DispatchResult) -> dict[str, Any]:
         "lost_chunks": {str(k): v for k, v in result.lost_chunks.items()},
         "merge_error": result.merge_error,
         "seconds": round(result.seconds, 3),
+        "steal": result.steal,
+        "plan": result.plan,
+        "costs_recorded": result.costs_recorded,
     }

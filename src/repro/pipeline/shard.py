@@ -78,10 +78,23 @@ class MergeError(ManifestError):
 
 @dataclasses.dataclass(frozen=True)
 class ShardSpec:
-    """One slice of a job list: shard ``index`` of ``count`` (1-based)."""
+    """One slice of a job list: shard ``index`` of ``count`` (1-based).
+
+    Two selection modes share this type:
+
+    * **Uniform** (``positions is None``): position ``p`` belongs to
+      shard ``p % count`` — the stable round-robin partition operators
+      type by hand (``--shard 2/8``).
+    * **Explicit** (``positions`` set): the shard holds exactly the
+      named 0-based job-list positions (``2/8=1,5,9``). The
+      work-stealing planner cuts *cost-balanced* chunks this way —
+      non-uniform in size, still a partition of the same canonical job
+      list, so the merge remains byte-identical to the serial run.
+    """
 
     index: int
     count: int
+    positions: tuple[int, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.count < 1:
@@ -90,32 +103,62 @@ class ShardSpec:
             raise ValueError(
                 f"shard index must be in 1..{self.count}, got {self.index}"
             )
+        if self.positions is not None:
+            object.__setattr__(self, "positions", tuple(self.positions))
+            if not self.positions:
+                raise ValueError("explicit shard needs at least one position")
+            if any(p < 0 for p in self.positions):
+                raise ValueError(
+                    f"shard positions must be >= 0, got {self.positions}")
+            if list(self.positions) != sorted(set(self.positions)):
+                # Canonical form keeps planner output deterministic and
+                # makes spec equality (resume validation) reliable.
+                raise ValueError(
+                    f"shard positions must be strictly increasing, got "
+                    f"{self.positions}")
 
     @classmethod
     def parse(cls, text: str) -> "ShardSpec":
-        """Parse ``"2/8"`` (as passed to ``--shard``) into a spec."""
-        head, sep, tail = text.partition("/")
+        """Parse ``"2/8"`` or explicit ``"2/8=1,5,9"`` into a spec."""
+        spec_text, eq, pos_text = text.partition("=")
+        head, sep, tail = spec_text.partition("/")
         try:
             if not sep:
                 raise ValueError
-            return cls(int(head), int(tail))
+            positions = None
+            if eq:
+                positions = tuple(int(p) for p in pos_text.split(","))
+            return cls(int(head), int(tail), positions)
         except ValueError:
             raise ValueError(
-                f"invalid shard spec {text!r}; expected I/N with 1 <= I <= N"
+                f"invalid shard spec {text!r}; expected I/N with 1 <= I <= N, "
+                f"optionally =p0,p1,... (0-based increasing positions)"
             ) from None
 
     def select(self, jobs: list[Job]) -> list[Job]:
-        """This shard's jobs: position ``p`` belongs to shard ``p % count``.
+        """This shard's slice of ``jobs``.
 
-        Round-robin (rather than contiguous blocks) balances the slow
+        Uniform specs take position ``p`` into shard ``p % count``;
+        round-robin (rather than contiguous blocks) balances the slow
         kernels, which cluster at the front of the suite order, across
-        shards.
+        shards. Explicit specs take exactly their named positions.
         """
+        if self.positions is not None:
+            out_of_range = [p for p in self.positions if p >= len(jobs)]
+            if out_of_range:
+                raise ValueError(
+                    f"shard {self} names position(s) {out_of_range} beyond "
+                    f"the {len(jobs)}-job list (stale chunk plan?)"
+                )
+            return [jobs[p] for p in self.positions]
         return [job for pos, job in enumerate(jobs)
                 if pos % self.count == self.index - 1]
 
     def __str__(self) -> str:
-        return f"{self.index}/{self.count}"
+        base = f"{self.index}/{self.count}"
+        if self.positions is not None:
+            return base + "=" + ",".join(map(str, self.positions))
+        return base
 
 
 # ---------------------------------------------------------------------------
@@ -197,12 +240,16 @@ class ShardManifest:
         return [entry for entry in self.jobs if not entry["ok"]]
 
     def to_dict(self) -> dict:
+        shard: dict[str, Any] = {"index": self.shard.index,
+                                 "count": self.shard.count}
+        if self.shard.positions is not None:
+            shard["positions"] = list(self.shard.positions)
         return {
             "format": MANIFEST_FORMAT,
             "version": self.version,
             "artifact": self.artifact,
             "scale": self.scale,
-            "shard": {"index": self.shard.index, "count": self.shard.count},
+            "shard": shard,
             "compiler": self.compiler,
             "total_jobs": self.total_jobs,
             "jobs": self.jobs,
@@ -242,8 +289,12 @@ class ShardManifest:
             )
         shard = data["shard"]
         try:
-            spec = ShardSpec(int(shard["index"]), int(shard["count"]))
-        except (KeyError, TypeError, ValueError) as exc:
+            positions = shard.get("positions")
+            if positions is not None:
+                positions = tuple(int(p) for p in positions)
+            spec = ShardSpec(int(shard["index"]), int(shard["count"]),
+                             positions)
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
             raise ManifestError(f"{source}: bad shard spec: {exc}") from None
         jobs = data["jobs"]
         if not isinstance(jobs, list) or not all(
@@ -293,9 +344,15 @@ def run_shard(
     the dispatcher revokes an expired in-process lease through it, and
     the cancelled jobs appear as failures in the manifest.
     """
+    from repro.pipeline.batch import record_result_costs
+
     all_jobs = artifact_jobs(artifact, scale, use_cache)
     results = run_jobs(spec.select(all_jobs), max_workers=jobs, kind=kind,
                        on_result=on_result, should_stop=should_stop)
+    # Feed the work-stealing cost model from the worker side too: shard
+    # workers sharing REPRO_CACHE_DIR warm the dispatcher's table even
+    # before their manifest is collected.
+    record_result_costs(artifact, scale, results)
     entries = []
     for res in results:
         entry: dict[str, Any] = {
@@ -405,24 +462,36 @@ def merge_manifests(
             f"--allow-stale-compiler to merge anyway)"
         )
 
-    failed = [entry for m in manifests for entry in m.failures()]
+    # Failures, duplicates, and malformed payloads name the originating
+    # chunk (the full spec — explicit-index chunks from the work-stealing
+    # planner or a queue worker are not identified by I/N alone), so a
+    # refused queue-mode merge is attributable to the worker that
+    # produced the offending manifest.
+    failed = [(entry, m.shard) for m in manifests for entry in m.failures()]
     if failed:
-        keys = [":".join(map(str, entry["key"])) for entry in failed]
+        keys = [f"{':'.join(map(str, entry['key']))} (chunk {shard})"
+                for entry, shard in failed]
         raise MergeError(f"cannot merge failed job(s): {keys}")
 
     collected: dict[tuple, Any] = {}
+    origin: dict[tuple, ShardSpec] = {}
     for manifest in manifests:
         for entry in manifest.jobs:
             key = tuple(entry["key"])
             if key in collected:
-                raise MergeError(f"duplicate job {':'.join(map(str, key))}")
+                raise MergeError(
+                    f"duplicate job {':'.join(map(str, key))} "
+                    f"(chunks {origin[key]} and {manifest.shard})"
+                )
             try:
                 collected[key] = decode_result(artifact, entry["value"])
             except (KeyError, TypeError, AttributeError, ValueError) as exc:
                 raise MergeError(
                     f"malformed result payload for job "
-                    f"{':'.join(map(str, key))}: {exc!r}"
+                    f"{':'.join(map(str, key))} (chunk {manifest.shard}): "
+                    f"{exc!r}"
                 ) from None
+            origin[key] = manifest.shard
 
     expected = artifact_jobs(artifact, scale)
     expected_keys = [job.key for job in expected]
@@ -434,9 +503,10 @@ def merge_manifests(
         )
     unexpected = sorted(set(collected) - set(expected_keys))
     if unexpected:
+        labels = [":".join(map(str, k)) + f" (chunk {origin[k]})"
+                  for k in unexpected]
         raise MergeError(
-            f"unexpected job(s) not in the {artifact} job list: "
-            f"{[':'.join(map(str, k)) for k in unexpected]}"
+            f"unexpected job(s) not in the {artifact} job list: {labels}"
         )
 
     results = [JobResult(job, True, value=collected[job.key])

@@ -26,6 +26,25 @@ def _isolated_cache_dir(tmp_path_factory):
 
 
 @pytest.fixture
+def fresh_cache(monkeypatch, tmp_path):
+    """A pristine default cache backed by a private disk directory.
+
+    Swaps the process-wide default cache and points REPRO_CACHE_DIR at a
+    per-test directory; subprocess workers inherit the variable through
+    the environment, so local-transport dispatch tests share the store
+    too. Shared by the pipeline/shard/dispatch/steal suites — the cache
+    isolation mechanism lives in exactly one place.
+    """
+    from repro.pipeline import cache as cache_mod
+    from repro.pipeline.cache import CompilationCache
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    cache = CompilationCache()
+    monkeypatch.setattr(cache_mod, "_default_cache", cache)
+    return cache
+
+
+@pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
 

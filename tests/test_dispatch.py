@@ -15,40 +15,32 @@ import sys
 
 import pytest
 
-from repro.pipeline import cache as cache_mod
 from repro.pipeline.batch import (
     artifact_jobs,
     format_artifact,
     run_artifact,
 )
-from repro.pipeline.cache import CompilationCache, cache_env_knobs
+from repro.pipeline.cache import cache_env_knobs
 from repro.pipeline.dispatch import (
     ChunkRequest,
     DispatchError,
     InlineTransport,
     LocalTransport,
+    QueueTransport,
     SshTransport,
     chunk_count,
     dispatch,
     dispatch_summary_payload,
     parse_transport,
 )
+from repro.pipeline.fsqueue import worker_loop
 from repro.pipeline.shard import ShardSpec, run_shard
 
 TINY = 0.02
 
-
-@pytest.fixture
-def fresh_cache(monkeypatch, tmp_path):
-    """A pristine default cache backed by a private disk directory.
-
-    Subprocess workers inherit ``REPRO_CACHE_DIR`` through the
-    environment, so local-transport tests share this store too.
-    """
-    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
-    cache = CompilationCache()
-    monkeypatch.setattr(cache_mod, "_default_cache", cache)
-    return cache
+# The shared ``fresh_cache`` fixture (tests/conftest.py) isolates the
+# process-wide default cache per test; subprocess workers inherit its
+# REPRO_CACHE_DIR through the environment.
 
 
 def _serial_text(artifact: str, scale: float = TINY) -> str:
@@ -79,8 +71,15 @@ class TestParseTransport:
         assert isinstance(t, SshTransport)
         assert t.hosts == ["alice@h1", "h2"] and t.slots == 2
 
+    def test_queue(self, tmp_path):
+        t = parse_transport(f"queue:{tmp_path}/pool")
+        assert isinstance(t, QueueTransport)
+        assert t.root == tmp_path / "pool"
+        assert str(t) == f"queue:{tmp_path}/pool"
+
     @pytest.mark.parametrize("spec", ["", "local:", "local:x", "local:0",
-                                      "ssh:", "queue:4", "inline:-1"])
+                                      "ssh:", "queue:", "redis:h1",
+                                      "inline:-1"])
     def test_rejects(self, spec):
         with pytest.raises(DispatchError):
             parse_transport(spec)
@@ -178,8 +177,8 @@ class TestDispatchClean:
         try:
             transport = _SabotagedLocal(
                 2, [sys.executable, "-c", "import time; time.sleep(600)"])
-            result = dispatch("table3", TINY, transport, lease_timeout=1.0,
-                              chunks_per_worker=2)
+            result = dispatch("table3", TINY, transport, lease_timeout=2.5,
+                              retries=8, chunks_per_worker=2)
             assert result.ok
             leftovers = [p for p in (tmp_path / "spool").iterdir()
                          if p.suffix in (".out", ".err")]
@@ -247,12 +246,20 @@ class TestFaultInjection:
 
     def test_hung_worker_lease_expires(self, fresh_cache):
         """A hung worker is killed at lease expiry and its chunk is
-        reassigned; the final merge is still byte-identical."""
+        reassigned; the final merge is still byte-identical.
+
+        The lease is short so the dud expires quickly, which means a
+        *legitimate* subprocess can also blow it on a loaded machine
+        (cold interpreter + numpy import); a generous retry bound keeps
+        that from losing chunks — every retry rides the staged cache the
+        killed worker already warmed, so attempts converge.
+        """
         transport = _SabotagedLocal(
             2, [sys.executable, "-c", "import time; time.sleep(600)"])
         events: list[str] = []
-        result = dispatch("table3", TINY, transport, lease_timeout=1.0,
-                          chunks_per_worker=2, on_event=events.append)
+        result = dispatch("table3", TINY, transport, lease_timeout=2.5,
+                          retries=8, chunks_per_worker=2,
+                          on_event=events.append)
         assert result.ok
         assert result.merged.text == _serial_text("table3")
         assert any("lease expired" in e for e in events)
@@ -363,6 +370,346 @@ class TestFaultInjection:
         assert result.ok
         assert result.attempts == result.chunks + 1
         assert result.merged.text == _serial_text("table6")
+
+
+# ---------------------------------------------------------------------------
+# The elastic queue transport (queue:DIR + `repro worker`)
+# ---------------------------------------------------------------------------
+
+
+class _WorkerPool:
+    """In-process `repro worker` threads a test can attach and detach."""
+
+    def __init__(self, root) -> None:
+        self.root = root
+        self.threads: list = []
+        self.exits: list = []
+
+    def attach(self, **kwargs):
+        import threading
+
+        stop = {"exit": False}
+        thread = threading.Thread(
+            target=worker_loop,
+            kwargs=dict(root=self.root, poll=0.02,
+                        should_exit=lambda: stop["exit"], **kwargs),
+            daemon=True,
+        )
+        thread.start()
+        self.threads.append(thread)
+        self.exits.append(stop)
+        return stop
+
+    def join_all(self, timeout: float = 10.0) -> bool:
+        for thread in self.threads:
+            thread.join(timeout)
+        return all(not t.is_alive() for t in self.threads)
+
+
+@pytest.fixture
+def queue_dir(tmp_path):
+    return tmp_path / "pool"
+
+
+class TestQueueTransport:
+    def test_elastic_workers_byte_identical(self, fresh_cache, queue_dir):
+        """Workers attach before and *during* the sweep (elastic pool);
+        the merged output still matches the serial run byte for byte,
+        and the stop sentinel releases every worker."""
+        import threading
+        import time as time_mod
+
+        pool = _WorkerPool(queue_dir)
+        pool.attach()
+
+        def attach_late():
+            time_mod.sleep(0.2)
+            pool.attach()
+
+        late = threading.Thread(target=attach_late, daemon=True)
+        late.start()
+        result = dispatch("table3", TINY, QueueTransport(queue_dir),
+                          lease_timeout=60)
+        late.join(5)
+        assert result.ok
+        assert result.merged.text == _serial_text("table3")
+        assert pool.join_all()
+        # The dispatcher cleaned up: no tasks left, stop sentinel raised.
+        transport = QueueTransport(queue_dir)
+        assert transport.pending_counts() == (0, 0)
+        assert transport.stop_path.exists()
+
+    def test_worker_detaches_mid_chunk_lease_reassigned(
+            self, fresh_cache, queue_dir):
+        """The fault-injection contract for elastic pools: a worker that
+        claims a chunk and detaches without finishing stops
+        heartbeating, the lease expires, the chunk is re-enqueued, and
+        the final artefact is byte-identical."""
+        import os
+        import threading
+        import time as time_mod
+
+        transport = QueueTransport(queue_dir)
+
+        def saboteur():
+            # Claim the first task that appears, then vanish (no
+            # heartbeat, no result) — a killed worker, from the
+            # dispatcher's point of view.
+            deadline = time_mod.monotonic() + 30
+            while time_mod.monotonic() < deadline:
+                if transport.queue_dir.exists():
+                    for task in sorted(transport.queue_dir.glob(
+                            "chunk-*.json")):
+                        try:
+                            os.replace(task, transport.claimed_dir /
+                                       (task.name + ".saboteur"))
+                            return
+                        except OSError:
+                            pass
+                time_mod.sleep(0.01)
+
+        threading.Thread(target=saboteur, daemon=True).start()
+        pool = _WorkerPool(queue_dir)
+
+        def attach_honest():
+            time_mod.sleep(0.3)
+            pool.attach()
+
+        threading.Thread(target=attach_honest, daemon=True).start()
+        events: list[str] = []
+        result = dispatch("table3", TINY, transport, lease_timeout=1.0,
+                          retries=8, on_event=events.append)
+        assert result.ok
+        assert result.merged.text == _serial_text("table3")
+        assert result.attempts > result.chunks  # the stolen lease cost one
+        assert any("lease expired" in e for e in events)
+        assert any("reassigning" in e for e in events)
+        assert pool.join_all()
+
+    def test_worker_discards_revoked_manifest(self, fresh_cache, queue_dir,
+                                              monkeypatch):
+        """A slow-but-alive worker whose lease was revoked cancels its
+        remaining jobs and discards the manifest instead of publishing a
+        half-cancelled one; the re-leased chunk completes cleanly."""
+        from repro.pipeline import batch
+
+        original = batch.table3_cell
+        state = {"slow_once": True}
+
+        def slow(kernel_name, scale, use_cache=None):
+            if state["slow_once"]:
+                state["slow_once"] = False
+                import time as time_mod
+
+                time_mod.sleep(3.0)  # outlive the 1s lease below
+            return original(kernel_name, scale, use_cache)
+
+        monkeypatch.setattr(batch, "table3_cell", slow)
+        pool = _WorkerPool(queue_dir)
+        pool.attach()
+        pool.attach()
+        events: list[str] = []
+        result = dispatch("table3", TINY, QueueTransport(queue_dir),
+                          lease_timeout=1.0, retries=8,
+                          on_event=events.append)
+        assert result.ok
+        assert result.merged.text == _serial_text("table3")
+        assert pool.join_all()
+
+    def test_stale_compiler_tasks_left_in_queue(self, fresh_cache,
+                                                queue_dir, monkeypatch):
+        """A worker from a different checkout must not burn a lease on a
+        task it cannot answer for: it leaves the task queued (with a
+        note) for a matching worker."""
+        from repro.pipeline import fsqueue
+
+        transport = QueueTransport(queue_dir)
+        transport.prepare()
+        transport.enqueue(1, 1, {"artifact": "table3", "scale": TINY,
+                                 "shard": "1/1"})
+        monkeypatch.setattr(fsqueue, "compiler_version", lambda: "0" * 16)
+        events: list[str] = []
+        exits = {"count": 0}
+
+        def bail():
+            exits["count"] += 1
+            return exits["count"] > 20
+
+        completed = worker_loop(queue_dir, poll=0.01, on_event=events.append,
+                                should_exit=bail)
+        assert completed == 0
+        assert any("skipping" in e for e in events)
+        assert transport.pending_counts()[0] == 1  # still queued
+
+    def test_worker_max_chunks_detaches(self, fresh_cache, queue_dir):
+        """`repro worker --max-chunks N` detaches after N chunks; the
+        dispatcher finishes with whoever is left."""
+        import threading
+        import time as time_mod
+
+        pool = _WorkerPool(queue_dir)
+        pool.attach(max_chunks=1)
+
+        def attach_late():
+            time_mod.sleep(0.2)
+            pool.attach()
+
+        threading.Thread(target=attach_late, daemon=True).start()
+        result = dispatch("table3", TINY, QueueTransport(queue_dir),
+                          lease_timeout=60)
+        assert result.ok
+        assert result.merged.text == _serial_text("table3")
+        assert pool.join_all()
+
+    @pytest.mark.parametrize("artifact", ["table6", "format_sweep"])
+    def test_paper_sweeps_queue_byte_identical(self, fresh_cache, queue_dir,
+                                               artifact):
+        """The acceptance artefacts over an elastic pool: one worker
+        detaches after two chunks, another attaches mid-sweep, and the
+        merged table6/format_sweep still matches serial byte for byte."""
+        import threading
+        import time as time_mod
+
+        pool = _WorkerPool(queue_dir)
+        pool.attach(max_chunks=2)  # detaches cleanly mid-sweep
+
+        def attach_late():
+            time_mod.sleep(0.3)
+            pool.attach()
+
+        threading.Thread(target=attach_late, daemon=True).start()
+        result = dispatch(artifact, TINY, QueueTransport(queue_dir),
+                          lease_timeout=60)
+        assert result.ok
+        assert result.merged.text == _serial_text(artifact)
+        assert pool.join_all()
+
+    def test_old_queued_task_not_revoked_at_claim(self, fresh_cache,
+                                                  queue_dir):
+        """A task that waited in the queue longer than the lease must
+        not be revoked the moment a worker claims it: the claim rename
+        preserves the enqueue-time mtime, so the worker stamps the
+        heartbeat immediately on claiming."""
+        import threading
+        import time as time_mod
+
+        pool = _WorkerPool(queue_dir)
+
+        def attach_late():
+            time_mod.sleep(2.0)  # > lease_timeout: every task is "old"
+            pool.attach()
+
+        threading.Thread(target=attach_late, daemon=True).start()
+        events: list[str] = []
+        result = dispatch("table3", TINY, QueueTransport(queue_dir),
+                          lease_timeout=1.0, on_event=events.append)
+        assert result.ok
+        assert result.merged.text == _serial_text("table3")
+        assert not any("lease expired" in e for e in events)
+        assert result.attempts == result.chunks
+        assert pool.join_all()
+
+    def test_stop_queue_false_keeps_pool_attached(self, fresh_cache,
+                                                  queue_dir):
+        """A multi-artefact sweep dispatches back-to-back over one queue
+        directory: with stop_queue=False the workers survive the first
+        dispatch and serve the second; only the final (default) dispatch
+        drains them."""
+        pool = _WorkerPool(queue_dir)
+        pool.attach()
+        transport = QueueTransport(queue_dir)
+        first = dispatch("table3", TINY, transport, lease_timeout=60,
+                         stop_queue=False)
+        assert first.ok
+        assert not transport.stop_path.exists()
+        assert all(t.is_alive() for t in pool.threads)
+        second = dispatch("table3", TINY, transport, lease_timeout=60)
+        assert second.ok
+        assert second.merged.text == first.merged.text
+        assert pool.join_all()
+
+    def test_worker_task_error_is_surfaced(self, fresh_cache, queue_dir):
+        """A worker that cannot run a task at all (here: a stale
+        explicit-positions spec) reports the root cause, and the
+        dispatcher's failure report carries it instead of a generic
+        'unreadable manifest' refusal."""
+        from repro.pipeline.dispatch import _validate_manifest_text
+        from repro.pipeline.fsqueue import ERROR_FORMAT
+
+        transport = QueueTransport(queue_dir)
+        transport.prepare()
+        transport.enqueue(1, 1, {"artifact": "table3", "scale": TINY,
+                                 "shard": "1/1=999"})
+        exits = {"count": 0}
+
+        def bail():
+            exits["count"] += 1
+            return exits["count"] > 200
+
+        worker_loop(queue_dir, poll=0.01, should_exit=bail)
+        results = transport.collect()
+        assert len(results) == 1
+        _index, text, _path = results[0]
+        assert json.loads(text)["format"] == ERROR_FORMAT
+        request = ChunkRequest("table3", TINY, ShardSpec(1, 1, (999,)))
+        manifest, why = _validate_manifest_text(text, request)
+        assert manifest is None
+        assert "stale chunk plan" in why  # the worker's real error
+
+    def test_result_write_failure_leaves_claim_to_expire(self, fresh_cache,
+                                                         queue_dir,
+                                                         monkeypatch):
+        """A worker that cannot deliver its result (full/read-only
+        mount) must leave its claim in place: the lease expires and the
+        chunk is re-leased — never stranded with no task, no claim, and
+        no result (which would hang the dispatch)."""
+        from repro.pipeline import fsqueue
+
+        real_write = fsqueue._atomic_write
+        state = {"failed": False}
+
+        def flaky_write(path, text):
+            if not state["failed"] and path.parent.name == "results":
+                state["failed"] = True
+                raise OSError("injected: no space left on device")
+            real_write(path, text)
+
+        monkeypatch.setattr(fsqueue, "_atomic_write", flaky_write)
+        pool = _WorkerPool(queue_dir)
+        pool.attach()
+        events: list[str] = []
+        result = dispatch("table3", TINY, QueueTransport(queue_dir),
+                          lease_timeout=1.0, retries=8,
+                          on_event=events.append)
+        assert state["failed"]
+        assert result.ok
+        assert result.merged.text == _serial_text("table3")
+        assert any("lease expired" in e for e in events)
+        assert pool.join_all()
+
+    def test_prepare_wipes_previous_dispatch_residue(self, tmp_path):
+        """A crashed dispatch (shutdown never ran) leaves task/claim/
+        result files behind; the next dispatch on the same directory
+        must start clean instead of mistaking them for its own chunks."""
+        transport = QueueTransport(tmp_path / "pool")
+        transport.prepare()
+        transport.enqueue(1, 1, {"artifact": "table6", "scale": 0.05,
+                                 "shard": "1/2"})
+        (transport.claimed_dir / "chunk-0002-a1.json.dead").write_text("{}")
+        (transport.results_dir / "chunk-0003-a1.w.json").write_text("{}")
+        transport.prepare()
+        assert transport.pending_counts() == (0, 0)
+        assert list(transport.results_dir.glob("chunk-*")) == []
+
+    def test_queue_reports_summary_payload(self, fresh_cache, queue_dir):
+        pool = _WorkerPool(queue_dir)
+        pool.attach()
+        result = dispatch("table3", TINY, QueueTransport(queue_dir),
+                          lease_timeout=60)
+        payload = json.loads(json.dumps(dispatch_summary_payload(result)))
+        assert payload["ok"] is True
+        assert payload["transport"].startswith("queue:")
+        assert pool.join_all()
 
 
 # ---------------------------------------------------------------------------
@@ -513,6 +860,47 @@ class TestCli:
                      "--scale", "0.02", "--quiet", "--retries", "0"]) == 1
         err = capsys.readouterr().err
         assert "QUARANTINED" in err
+
+    def test_worker_cli_exits_on_stopped_queue(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        transport = QueueTransport(tmp_path / "pool")
+        transport.prepare()
+        transport.shutdown()  # raise the stop sentinel; queue is empty
+        assert main(["worker", str(tmp_path / "pool"), "--poll", "0.01",
+                     "--quiet"]) == 0
+        assert "0 chunk(s) completed" in capsys.readouterr().err
+
+    def test_dispatch_queue_cli_round_trip(self, fresh_cache, tmp_path,
+                                           capsys):
+        import threading
+
+        from repro.__main__ import main
+
+        qdir = tmp_path / "pool"
+        worker = threading.Thread(
+            target=main,
+            args=(["worker", str(qdir), "--poll", "0.02", "--quiet"],),
+            daemon=True)
+        worker.start()
+        assert main(["dispatch", "table3", "--workers", f"queue:{qdir}",
+                     "--scale", "0.02", "--quiet",
+                     "--lease-timeout", "60"]) == 0
+        assert capsys.readouterr().out == _serial_text("table3") + "\n"
+        worker.join(10)
+        assert not worker.is_alive()
+
+    def test_batch_shard_accepts_explicit_positions(self, fresh_cache,
+                                                    capsys):
+        from repro.__main__ import main
+        from repro.pipeline.shard import ShardManifest
+
+        assert main(["batch", "table3", "--scale", "0.02",
+                     "--shard", "1/2=0,3", "--out", "-"]) == 0
+        manifest = ShardManifest.from_dict(
+            json.loads(capsys.readouterr().out))
+        assert manifest.shard == ShardSpec(1, 2, (0, 3))
+        assert len(manifest.jobs) == 2
 
     def test_batch_out_dash_streams_manifest(self, fresh_cache, capsys):
         from repro.__main__ import main

@@ -9,11 +9,11 @@ import pytest
 from repro.core import compile_stmt
 from repro.formats import CSR, DENSE_VECTOR, Format, compressed, offChip
 from repro.ir import index_vars
-from repro.pipeline import cache as cache_mod
 from repro.pipeline.batch import artifact_jobs, run_artifact, run_batch
 from repro.pipeline.cache import (
     CompilationCache,
     compiler_version,
+    disk_cache_dir,
     fingerprint_stmt,
     make_key,
     memoize_stage,
@@ -23,14 +23,8 @@ from repro.pipeline.executor import Job, run_jobs
 from repro.tensor import Tensor
 from tests.helpers_kernels import build_small_kernel_stmt
 
-
-@pytest.fixture
-def fresh_cache(monkeypatch, tmp_path):
-    """A pristine default cache backed by a private disk directory."""
-    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
-    cache = CompilationCache()
-    monkeypatch.setattr(cache_mod, "_default_cache", cache)
-    return cache
+# Cache isolation comes from the shared ``fresh_cache`` fixture in
+# tests/conftest.py.
 
 
 def _spmv_stmt(fmt=None, density=0.4, inner_par=16):
@@ -286,7 +280,7 @@ class TestStagedCache:
         from repro.eval.harness import load_dataset_cached
 
         load_dataset_cached("SpMV", "bcsstk30", TINY)
-        base = cache_mod.disk_cache_dir()
+        base = disk_cache_dir()
         tree = base / stage_version("dataset")
         assert any(tree.rglob("*.pkl"))
 

@@ -13,9 +13,8 @@ import json
 
 import pytest
 
-from repro.pipeline import cache as cache_mod
 from repro.pipeline.batch import artifact_jobs
-from repro.pipeline.cache import CompilationCache, compiler_version
+from repro.pipeline.cache import compiler_version
 from repro.pipeline.shard import (
     ManifestError,
     MergeError,
@@ -29,14 +28,8 @@ from repro.pipeline.shard import (
 
 TINY = 0.02
 
-
-@pytest.fixture
-def fresh_cache(monkeypatch, tmp_path):
-    """A pristine default cache backed by a private disk directory."""
-    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
-    cache = CompilationCache()
-    monkeypatch.setattr(cache_mod, "_default_cache", cache)
-    return cache
+# Cache isolation comes from the shared ``fresh_cache`` fixture in
+# tests/conftest.py.
 
 
 def _strip_seconds(manifest: ShardManifest) -> list[dict]:
