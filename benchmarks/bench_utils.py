@@ -1,0 +1,73 @@
+"""Machine-readable benchmark output: one helper, one schema.
+
+Every benchmark writes its numbers through :func:`write_bench_json`, so
+CI's perf gate and the nightly sweep consume a uniform format::
+
+    {
+      "schema": 1,
+      "bench": "<name>",           # BENCH_<name>.json
+      "scale": 0.05,               # dataset scale the numbers were taken at
+      "unix_time": 1754555555.0,
+      "metrics": { "<metric>": <number> | {<sub-metric>: <number>} }
+    }
+
+Files land in ``REPRO_BENCH_DIR`` (default: the current directory) as
+``BENCH_<name>.json``. The pytest-benchmark suites are routed through
+this automatically by a session-finish hook in ``conftest.py``; scripts
+with bespoke metrics (``bench_numpy_exec.py``) call it directly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+
+
+def bench_dir() -> Path:
+    """Where BENCH_*.json files are written (``REPRO_BENCH_DIR``)."""
+    return Path(os.environ.get("REPRO_BENCH_DIR", "."))
+
+
+def write_bench_json(name: str, metrics: dict, scale: float | None = None,
+                     extra: dict | None = None) -> Path:
+    """Write ``BENCH_<name>.json`` with the uniform schema; returns the path.
+
+    ``metrics`` maps metric names to numbers (or flat sub-dicts of
+    numbers). ``extra`` merges additional top-level fields (e.g. an
+    ``engine`` tag) without disturbing the schema keys.
+    """
+    payload: dict = {
+        "schema": SCHEMA_VERSION,
+        "bench": name,
+        "scale": scale,
+        "unix_time": time.time(),
+        "metrics": metrics,
+    }
+    if extra:
+        for key, value in extra.items():
+            payload.setdefault(key, value)
+    out = bench_dir() / f"BENCH_{name}.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return out
+
+
+def pytest_benchmarks_to_metrics(benchmarks) -> dict[str, dict[str, float]]:
+    """Fold pytest-benchmark result objects into the metrics schema.
+
+    Used by the conftest session hook to emit one ``BENCH_<module>.json``
+    per benchmark module, keyed by test name with mean/min wall seconds.
+    """
+    metrics: dict[str, dict[str, float]] = {}
+    for bench in benchmarks:
+        stats = bench.stats.stats if hasattr(bench.stats, "stats") else bench.stats
+        metrics[bench.name] = {
+            "mean_s": float(stats.mean),
+            "min_s": float(stats.min),
+            "rounds": float(stats.rounds),
+        }
+    return metrics

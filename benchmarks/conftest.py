@@ -85,3 +85,36 @@ def print_artifact(title: str, text: str) -> None:
     """Plain (captured) artefact printer, for non-fixture contexts."""
     bar = "=" * 78
     print(f"\n{bar}\n{title}\n{bar}\n{text}\n{bar}")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Emit one machine-readable ``BENCH_<module>.json`` per bench module.
+
+    Routes every pytest-benchmark suite through the shared
+    :mod:`benchmarks.bench_utils` schema so CI's perf job and the nightly
+    sweep consume the same format the standalone scripts write. No-ops
+    when pytest-benchmark did not run (e.g. ``--benchmark-disable``
+    collection-only sessions with no recorded stats).
+    """
+    from pathlib import Path
+
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not bench_session.benchmarks:
+        return
+    from benchmarks.bench_utils import (
+        pytest_benchmarks_to_metrics,
+        write_bench_json,
+    )
+
+    by_module: dict[str, list] = {}
+    for bench in bench_session.benchmarks:
+        if not getattr(bench, "stats", None):
+            continue
+        module = Path(bench.fullname.split("::")[0]).stem
+        by_module.setdefault(module, []).append(bench)
+    for module, benches in by_module.items():
+        try:
+            write_bench_json(module, pytest_benchmarks_to_metrics(benches),
+                             scale=SCALE)
+        except OSError:
+            pass  # read-only CWD must not fail the benchmark run

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""CI perf gate: compare BENCH_numpy_exec.json against committed floors.
+
+Reads a benchmark result written by ``benchmarks/bench_numpy_exec.py``
+(the uniform :mod:`benchmarks.bench_utils` schema) and the committed
+``benchmarks/baseline.json``, and fails when:
+
+* any kernel's measured speedup drops below ``floor * tolerance`` —
+  the tolerance (committed alongside the floors) absorbs shared-runner
+  noise so the gate trips on real regressions, not scheduler jitter;
+* the geomean speedup drops below ``geomean_floor`` — the acceptance
+  bar, enforced exactly (no tolerance).
+
+Usage::
+
+    python scripts/check_bench_regression.py BENCH_numpy_exec.json \
+        [--baseline benchmarks/baseline.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def check(result_path: Path, baseline_path: Path) -> int:
+    result = json.loads(result_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+    metrics = result["metrics"]
+    tolerance = float(baseline.get("tolerance", 1.0))
+    failures: list[str] = []
+
+    for kernel, floor in baseline["floors"].items():
+        entry = metrics.get(kernel)
+        if entry is None:
+            failures.append(f"{kernel}: missing from {result_path.name}")
+            continue
+        speedup = float(entry["speedup"])
+        effective = float(floor) * tolerance
+        status = "ok" if speedup >= effective else "REGRESSION"
+        print(f"{kernel:12s} {speedup:8.1f}x  floor {floor:6.1f}x "
+              f"(x{tolerance} tolerance -> {effective:.1f}x)  {status}")
+        if speedup < effective:
+            failures.append(
+                f"{kernel}: {speedup:.1f}x < {effective:.1f}x "
+                f"(floor {floor} * tolerance {tolerance})"
+            )
+
+    geomean = float(metrics["geomean_speedup"])
+    geomean_floor = float(baseline["geomean_floor"])
+    status = "ok" if geomean >= geomean_floor else "REGRESSION"
+    print(f"{'geomean':12s} {geomean:8.1f}x  floor {geomean_floor:6.1f}x "
+          f"(exact)  {status}")
+    if geomean < geomean_floor:
+        failures.append(f"geomean: {geomean:.1f}x < {geomean_floor:.1f}x")
+
+    if failures:
+        print("\nperf gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("result", type=Path,
+                        help="BENCH_numpy_exec.json to check")
+    parser.add_argument("--baseline", type=Path,
+                        default=Path("benchmarks/baseline.json"))
+    args = parser.parse_args(argv)
+    return check(args.result, args.baseline)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

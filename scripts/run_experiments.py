@@ -66,7 +66,7 @@ def _run_shard(args, use_cache) -> int:
     failures = 0
     for artifact, at in _artifact_scales(args.scale):
         manifest = run_shard(artifact, at, spec, jobs=args.jobs,
-                             use_cache=use_cache)
+                             use_cache=use_cache, engine=args.engine)
         out = shard_dir / f"{artifact}.shard{spec.index}of{spec.count}.json"
         manifest.save(out)
         failed = len(manifest.failures())
@@ -114,7 +114,7 @@ def _run_dispatch(args, use_cache) -> int:
                     artifact, at, transport,
                     use_cache=use_cache, worker_jobs=args.jobs,
                     state_dir=state_dir, resume=True,
-                    steal=args.steal,
+                    steal=args.steal, engine=args.engine,
                     # An elastic pool must survive between artefacts;
                     # the finally below drains it after the last one.
                     stop_queue=not elastic,
@@ -168,6 +168,11 @@ def main() -> int:
     parser.add_argument("--steal", action="store_true",
                         help="with --workers: plan cost-balanced chunks "
                              "from the recorded per-job cost table")
+    parser.add_argument("--engine", choices=["interp", "cpu", "numpy"],
+                        default=None,
+                        help="functionally execute each table6/format_sweep "
+                             "cell with this engine and validate it against "
+                             "the interpreter oracle")
     args = parser.parse_args()
     use_cache = False if args.no_cache else None
 
@@ -190,7 +195,8 @@ def main() -> int:
     structural = run_batch(["table3", "table5"], TINY,
                            jobs=args.jobs, use_cache=use_cache)
     scaled = run_batch(["table6", "figure12", "format_sweep"], args.scale,
-                       jobs=args.jobs, use_cache=use_cache)
+                       jobs=args.jobs, use_cache=use_cache,
+                       engine=args.engine)
 
     failures = structural.failures + scaled.failures
     for failure in failures:

@@ -98,6 +98,7 @@ def _cmd_tables(args) -> int:
 
     artefact = args.artifact
     use_cache = _use_cache(args)
+    engine = args.engine
     if artefact == "table3":
         print(harness.format_table3(
             harness.table3(jobs=args.jobs, use_cache=use_cache)))
@@ -106,7 +107,8 @@ def _cmd_tables(args) -> int:
             harness.table5(jobs=args.jobs, use_cache=use_cache)))
     elif artefact == "table6":
         print(harness.format_table6(
-            harness.table6(args.scale, jobs=args.jobs, use_cache=use_cache)))
+            harness.table6(args.scale, jobs=args.jobs, use_cache=use_cache,
+                           engine=engine)))
     elif artefact == "figure12":
         print(harness.format_figure12(
             harness.figure12(args.scale, jobs=args.jobs,
@@ -114,7 +116,7 @@ def _cmd_tables(args) -> int:
     elif artefact == "format_sweep":
         print(harness.format_format_sweep(
             harness.format_sweep(args.scale, jobs=args.jobs,
-                                 use_cache=use_cache)))
+                                 use_cache=use_cache, engine=engine)))
     else:  # pragma: no cover - argparse restricts choices
         return 2
     return 0
@@ -249,7 +251,8 @@ def _cmd_batch(args) -> int:
 
     run = run_batch(artifacts, args.scale, jobs=args.jobs,
                     use_cache=use_cache,
-                    kind="process" if args.processes else "thread")
+                    kind="process" if args.processes else "thread",
+                    engine=args.engine)
     bar = "=" * 78
     for artifact in artifacts:
         if artifact in run.texts:
@@ -279,7 +282,7 @@ def _run_shard_to_manifest(args, artifact: str, spec, use_cache) -> int:
     manifest = run_shard(artifact, args.scale, spec, jobs=args.jobs,
                          use_cache=use_cache,
                          kind="process" if args.processes else "thread",
-                         on_result=progress)
+                         on_result=progress, engine=args.engine)
     to_stdout = args.out == "-"
     if to_stdout:
         # Dispatch workers stream the manifest back over stdout; keep
@@ -357,6 +360,7 @@ def _cmd_dispatch(args) -> int:
             steal=args.steal,
             min_chunk=args.min_chunk,
             on_event=event,
+            engine=args.engine,
         )
     except DispatchError as exc:
         print(f"dispatch error: {exc}", file=sys.stderr)
@@ -466,6 +470,11 @@ def main(argv: list[str] | None = None) -> int:
                        help="parallel worker count (default: REPRO_JOBS or 1)")
     p_tab.add_argument("--no-cache", action="store_true",
                        help="bypass the compilation/result cache")
+    p_tab.add_argument("--engine", choices=["interp", "cpu", "numpy"],
+                       default=None,
+                       help="functionally execute each table6/format_sweep "
+                            "cell with this engine and validate it against "
+                            "the interpreter oracle (default: skip the check)")
 
     p_batch = sub.add_parser(
         "batch", help="regenerate several artefacts as one parallel batch")
@@ -491,6 +500,11 @@ def main(argv: list[str] | None = None) -> int:
                          help="manifest path for --shard (default: "
                               "<artefact>.shardIofN.json; `-` streams the "
                               "manifest JSON to stdout)")
+    p_batch.add_argument("--engine", choices=["interp", "cpu", "numpy"],
+                         default=None,
+                         help="functionally execute each table6/format_sweep "
+                              "cell with this engine and validate it against "
+                              "the interpreter oracle (default: skip the check)")
 
     p_disp = sub.add_parser(
         "dispatch",
@@ -535,6 +549,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="workers bypass the compilation/result cache")
     p_disp.add_argument("--quiet", action="store_true",
                         help="suppress per-lease progress on stderr")
+    p_disp.add_argument("--engine", choices=["interp", "cpu", "numpy"],
+                        default=None,
+                        help="workers functionally execute each "
+                             "table6/format_sweep cell with this engine and "
+                             "validate it against the interpreter oracle")
 
     p_merge = sub.add_parser(
         "merge", help="merge shard manifests into the full artefact")

@@ -1,0 +1,436 @@
+"""Vectorized NumPy execution backend.
+
+Where the Spatial interpreter and :class:`~repro.backends.cpu_exec.CpuExecutor`
+walk the iteration space coordinate by coordinate in Python, this backend
+executes an index-notation statement as a handful of whole-array NumPy
+operations, following the DaCe-style decomposition of a sparse kernel into
+explicit per-level-array operations:
+
+* **dense** levels become implicit array axes (``np.einsum`` contractions);
+* **compressed** levels become ``pos``/``crd`` segment arithmetic — entry
+  counts via ``pos[p+1] - pos[p]``, per-entry offsets via ``np.repeat``,
+  and reductions via ``np.add.reduceat`` over sorted scatter keys;
+* **singleton** levels gather their single coordinate per parent position
+  (``crd[positions]``);
+* **block** levels validate their static extent and then expand like dense
+  levels (a BCSR tile is a fixed-size dense sub-axis).
+
+Each additive term of the assignment is classified by how many *sparse*
+(non-all-dense) factors it multiplies:
+
+* zero sparse factors → one ``einsum`` over the dense operands;
+* one sparse factor → enumerate its stored entries per level format,
+  gather the dense operands at the entry coordinates, contract over the
+  entry axis, and scatter-add into the output (``np.add.reduceat`` over
+  sorted linearized output keys);
+* two sparse factors over the *same* index-variable set (the InnerProd
+  shape) → intersect their linearized coordinate keys (``np.intersect1d``)
+  and proceed as one merged sparse factor.
+
+Anything else — nested unions inside a product, three or more sparse
+factors, sparse-sparse joins over differing variable sets — raises
+:class:`VectorizeFallback`, and :func:`execute_numpy` transparently falls
+back to the :class:`CpuExecutor` merge-lattice interpreter, which handles
+those shapes (n-ary unions included) at Python speed.
+
+Like ``CpuExecutor``, this backend executes the *algorithm* (the original
+assignment), not the schedule: schedules are semantics-preserving, so the
+result is engine-independent up to floating-point summation order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.index_notation import (
+    Access,
+    Add,
+    Assignment,
+    IndexExpr,
+    IndexVar,
+    Literal,
+    Mul,
+    Neg,
+    Sub,
+    additive_terms,
+)
+from repro.schedule.stmt import IndexStmt
+from repro.tensor.ops import infer_dimensions
+from repro.tensor.storage import (
+    CompressedLevel,
+    DenseLevel,
+    SingletonLevel,
+    TensorStorage,
+)
+
+__all__ = [
+    "NumpyExecutor",
+    "VectorizeFallback",
+    "enumerate_entries",
+    "execute_numpy",
+]
+
+#: einsum subscript letters; ``e`` is reserved for the entry axis.
+_LETTERS = "abcdfghijklmnopqrstuvwxyz"
+
+
+class VectorizeFallback(Exception):
+    """The vectorizer cannot handle this statement shape.
+
+    Raised (and caught by :meth:`NumpyExecutor.run` unless ``strict``)
+    for nested additions inside a product, more than two sparse factors
+    in one term, or a sparse-sparse join over differing index-variable
+    sets — the shapes the merge-lattice ``CpuExecutor`` exists for.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Per-level-format entry enumeration (the vectorized level emitters)
+# ---------------------------------------------------------------------------
+
+
+def _emit_dense(lvl: DenseLevel, positions, coord_cols):
+    """Dense level: every parent position expands to ``size`` children."""
+    dim = lvl.size
+    new_coord = np.tile(np.arange(dim, dtype=np.int64), len(positions))
+    positions = np.repeat(positions, dim) * dim + new_coord
+    coord_cols = [np.repeat(c, dim) for c in coord_cols]
+    coord_cols.append(new_coord)
+    return positions, coord_cols
+
+
+def _emit_block(lvl: DenseLevel, positions, coord_cols, static_size: int):
+    """Block level: a dense sub-axis whose extent is fixed by the format."""
+    if lvl.size != static_size:
+        raise VectorizeFallback(
+            f"block level extent {lvl.size} != static size {static_size}"
+        )
+    return _emit_dense(lvl, positions, coord_cols)
+
+
+def _emit_compressed(lvl: CompressedLevel, positions, coord_cols):
+    """Compressed level: pos/crd segment arithmetic, fully vectorized."""
+    counts = lvl.pos[positions + 1] - lvl.pos[positions]
+    starts = lvl.pos[positions]
+    total = int(counts.sum())
+    # offsets[e] = starts[parent of e] + (rank of e within its segment)
+    prefix = np.concatenate(([0], np.cumsum(counts)))[: len(counts)]
+    seg_base = np.repeat(prefix, counts)
+    offsets = np.repeat(starts, counts) + (np.arange(total) - seg_base)
+    coord_cols = [np.repeat(c, counts) for c in coord_cols]
+    coord_cols.append(lvl.crd[offsets].astype(np.int64))
+    return offsets, coord_cols
+
+
+def _emit_singleton(lvl: SingletonLevel, positions, coord_cols):
+    """Singleton level: one gathered coordinate per parent position."""
+    coord_cols.append(lvl.crd[positions].astype(np.int64))
+    return positions, coord_cols
+
+
+def enumerate_entries(storage: TensorStorage) -> tuple[np.ndarray, np.ndarray]:
+    """All stored entries as ``(coords, vals)``, coords in **mode** order.
+
+    Walks the levels outermost-first with one emitter per level format —
+    the vectorized analogue of a generated per-level loop nest. Formats
+    with trailing dense levels enumerate explicit zeros; they multiply
+    out harmlessly.
+    """
+    order = storage.order
+    if order == 0:
+        return np.zeros((1, 0), dtype=np.int64), storage.vals.copy()
+    positions = np.zeros(1, dtype=np.int64)
+    coord_cols: list[np.ndarray] = []
+    for lvl_idx in range(order):
+        lvl = storage.levels[lvl_idx]
+        lf = storage.fmt.level_format(lvl_idx)
+        if isinstance(lvl, DenseLevel):
+            if lf.is_block:
+                positions, coord_cols = _emit_block(lvl, positions,
+                                                    coord_cols, lf.size)
+            else:
+                positions, coord_cols = _emit_dense(lvl, positions,
+                                                    coord_cols)
+        elif isinstance(lvl, SingletonLevel):
+            positions, coord_cols = _emit_singleton(lvl, positions,
+                                                    coord_cols)
+        else:
+            positions, coord_cols = _emit_compressed(lvl, positions,
+                                                     coord_cols)
+    coords = np.empty((len(positions), order), dtype=np.int64)
+    for lvl_idx in range(order):
+        coords[:, storage.fmt.mode_of_level(lvl_idx)] = coord_cols[lvl_idx]
+    return coords, storage.vals[positions]
+
+
+# ---------------------------------------------------------------------------
+# Scatter-add (the reduceat fast path)
+# ---------------------------------------------------------------------------
+
+
+def segment_scatter_add(buffer: np.ndarray, keys: np.ndarray,
+                        contrib: np.ndarray) -> None:
+    """``buffer[keys] += contrib`` with duplicate keys accumulated.
+
+    Sorts the keys when they are not already non-decreasing, then sums
+    each equal-key run with one ``np.add.reduceat`` over the run starts
+    (every segment is non-empty by construction, sidestepping reduceat's
+    empty-segment pitfall) and adds the per-key sums in one shot.
+    """
+    if len(keys) == 0:
+        return
+    if np.all(keys[1:] >= keys[:-1]):
+        sorted_keys, sorted_contrib = keys, contrib
+    else:
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        sorted_contrib = contrib[order]
+    starts = np.flatnonzero(
+        np.concatenate(([True], sorted_keys[1:] != sorted_keys[:-1]))
+    )
+    buffer[sorted_keys[starts]] += np.add.reduceat(sorted_contrib, starts,
+                                                   axis=0)
+
+
+# ---------------------------------------------------------------------------
+# The executor
+# ---------------------------------------------------------------------------
+
+
+def _flatten_factors(expr: IndexExpr) -> tuple[float, list[IndexExpr]]:
+    """Flatten a product term into ``(scalar sign, [factors])``."""
+    if isinstance(expr, Mul):
+        sa, fa = _flatten_factors(expr.a)
+        sb, fb = _flatten_factors(expr.b)
+        return sa * sb, fa + fb
+    if isinstance(expr, Neg):
+        s, f = _flatten_factors(expr.a)
+        return -s, f
+    if isinstance(expr, (Add, Sub)):
+        raise VectorizeFallback(
+            "nested addition inside a product (union under intersection)"
+        )
+    return 1.0, [expr]
+
+
+class NumpyExecutor:
+    """Vectorized execution of a (scheduled or bare) statement.
+
+    Attributes:
+        fell_back: True once :meth:`run` has delegated to the
+            ``CpuExecutor`` because the statement shape was not
+            vectorizable.
+    """
+
+    def __init__(self, stmt: IndexStmt | Assignment) -> None:
+        if isinstance(stmt, IndexStmt):
+            assignment = stmt.assignment
+        else:
+            assignment = stmt
+        self.assignment = assignment
+        self.fell_back = False
+
+    # -- public entry points ------------------------------------------------
+
+    def run(self, strict: bool = False) -> np.ndarray:
+        """Execute, returning the dense result array (lhs shape).
+
+        ``strict=True`` raises :class:`VectorizeFallback` instead of
+        delegating to the ``CpuExecutor`` interpreter.
+        """
+        try:
+            return self._vectorize()
+        except VectorizeFallback:
+            if strict:
+                raise
+            self.fell_back = True
+            from repro.backends.cpu_exec import CpuExecutor
+
+            result = CpuExecutor(self.assignment).run()
+            return np.asarray(result, dtype=np.float64).reshape(
+                self.assignment.lhs.tensor.shape
+            )
+
+    # -- vectorization ------------------------------------------------------
+
+    def _vectorize(self) -> np.ndarray:
+        a = self.assignment
+        dims = infer_dimensions(a)
+        lhs_vars = list(a.lhs.indices)
+        letters = self._assign_letters(a, dims)
+        out_shape = tuple(dims[v] for v in lhs_vars)
+        terms = additive_terms(a.rhs)
+        accumulate = a.accumulate and a.lhs.tensor._storage is not None
+        if len(terms) == 1 and terms[0][0] == 1 and not accumulate:
+            # Single positive term: the term buffer *is* the result, so
+            # skip the output allocation and the full-size += pass (this
+            # is the whole cost for tiny-nnz kernels with dense outputs).
+            contrib = self._term(terms[0][1], lhs_vars, dims, letters)
+            if contrib.shape == out_shape:
+                return contrib
+            return np.broadcast_to(contrib, out_shape).copy()
+        out = np.zeros(out_shape, dtype=np.float64)
+        for sign, term in terms:
+            contrib = self._term(term, lhs_vars, dims, letters)
+            if sign >= 0:
+                np.add(out, contrib, out=out)
+            else:
+                np.subtract(out, contrib, out=out)
+        if accumulate:
+            np.add(out, a.lhs.tensor.to_dense(), out=out)
+        return out
+
+    @staticmethod
+    def _assign_letters(a: Assignment,
+                        dims: dict[IndexVar, int]) -> dict[int, str]:
+        if len(dims) > len(_LETTERS):
+            raise VectorizeFallback(
+                f"{len(dims)} index variables exceed the einsum alphabet"
+            )
+        return {id(v): _LETTERS[k] for k, v in enumerate(dims)}
+
+    def _term(self, term: IndexExpr, lhs_vars: list[IndexVar],
+              dims: dict[IndexVar, int],
+              letters: dict[int, str]) -> np.ndarray:
+        scalar, factors = _flatten_factors(term)
+        dense_accs: list[Access] = []
+        sparse_accs: list[Access] = []
+        for f in factors:
+            if isinstance(f, Literal):
+                scalar *= float(f.value)
+            elif isinstance(f, Access):
+                if f.tensor.order == 0:
+                    scalar *= f.tensor.scalar_value()
+                elif f.tensor.format.is_all_dense:
+                    dense_accs.append(f)
+                else:
+                    sparse_accs.append(f)
+            else:  # pragma: no cover - _flatten_factors rejects the rest
+                raise VectorizeFallback(f"unexpected factor {type(f).__name__}")
+
+        term_var_ids = {id(v) for v in term.index_vars()}
+        present_lhs = [v for v in lhs_vars if id(v) in term_var_ids]
+
+        if not sparse_accs:
+            result = self._dense_term(dense_accs, scalar, present_lhs,
+                                      dims, letters)
+        elif len(sparse_accs) == 1:
+            acc = sparse_accs[0]
+            coords, vals = enumerate_entries(acc.tensor.storage)
+            result = self._sparse_term(acc, coords, vals * scalar,
+                                       dense_accs, lhs_vars, present_lhs,
+                                       dims, letters)
+        elif len(sparse_accs) == 2:
+            merged = self._intersect_pair(sparse_accs[0], sparse_accs[1])
+            acc, coords, vals = merged
+            result = self._sparse_term(acc, coords, vals * scalar,
+                                       dense_accs, lhs_vars, present_lhs,
+                                       dims, letters)
+        else:
+            raise VectorizeFallback(
+                f"{len(sparse_accs)} sparse factors in one term"
+            )
+
+        # Broadcast into full lhs rank: size-1 axes for absent lhs vars.
+        shape = [dims[v] if id(v) in term_var_ids else 1 for v in lhs_vars]
+        return np.asarray(result, dtype=np.float64).reshape(shape)
+
+    def _dense_term(self, dense_accs: list[Access], scalar: float,
+                    present_lhs: list[IndexVar], dims: dict[IndexVar, int],
+                    letters: dict[int, str]) -> np.ndarray:
+        out_sub = "".join(letters[id(v)] for v in present_lhs)
+        if not dense_accs:
+            return np.full(tuple(dims[v] for v in present_lhs), scalar)
+        subs = ",".join(
+            "".join(letters[id(v)] for v in acc.indices)
+            for acc in dense_accs
+        )
+        arrays = [acc.tensor.to_dense() for acc in dense_accs]
+        return scalar * np.einsum(f"{subs}->{out_sub}", *arrays)
+
+    def _sparse_term(self, acc: Access, coords: np.ndarray, vals: np.ndarray,
+                     dense_accs: list[Access], lhs_vars: list[IndexVar],
+                     present_lhs: list[IndexVar], dims: dict[IndexVar, int],
+                     letters: dict[int, str]) -> np.ndarray:
+        if len(vals) == 0:
+            return np.zeros(tuple(dims[v] for v in present_lhs))
+        sparse_col = {id(v): m for m, v in enumerate(acc.indices)}
+        lhs_s = [v for v in present_lhs if id(v) in sparse_col]
+        lhs_d = [v for v in present_lhs if id(v) not in sparse_col]
+
+        # Contract the dense operands against the entry axis: each dense
+        # factor is gathered at the entry coordinates along its modes that
+        # the sparse factor also indexes; its remaining modes stay as
+        # residual axes for einsum to carry or reduce.
+        operands: list[np.ndarray] = [vals]
+        subs: list[str] = ["e"]
+        for dacc in dense_accs:
+            shared = [m for m, v in enumerate(dacc.indices)
+                      if id(v) in sparse_col]
+            residual = [m for m in range(len(dacc.indices))
+                        if m not in shared]
+            arr = dacc.tensor.to_dense().transpose(shared + residual)
+            gathered = arr[tuple(
+                coords[:, sparse_col[id(dacc.indices[m])]] for m in shared
+            )]
+            operands.append(gathered)
+            subs.append("e" + "".join(letters[id(dacc.indices[m])]
+                                      for m in residual))
+        out_sub = ("e" if lhs_s else "") + "".join(
+            letters[id(v)] for v in lhs_d
+        )
+        contrib = np.einsum(f"{','.join(subs)}->{out_sub}", *operands)
+
+        if not lhs_s:
+            return contrib  # einsum already reduced the entry axis
+
+        # Scatter-add per linearized output key; entries sharing an output
+        # coordinate (reduction vars living in the sparse factor) merge.
+        keys = np.zeros(len(vals), dtype=np.int64)
+        for v in lhs_s:
+            keys = keys * dims[v] + coords[:, sparse_col[id(v)]]
+        flat = int(np.prod([dims[v] for v in lhs_s]))
+        buffer = np.zeros((flat,) + tuple(dims[v] for v in lhs_d))
+        segment_scatter_add(buffer, keys, contrib)
+        result = buffer.reshape(tuple(dims[v] for v in lhs_s)
+                                + tuple(dims[v] for v in lhs_d))
+        # Axes are (lhs_s..., lhs_d...); interleave back into lhs order.
+        current = lhs_s + lhs_d
+        dest = [present_lhs.index(v) for v in current]
+        return np.moveaxis(result, range(len(current)), dest)
+
+    def _intersect_pair(self, a: Access, b: Access):
+        """Merge two sparse factors over one shared index-variable set."""
+        ids_a = {id(v) for v in a.indices}
+        ids_b = {id(v) for v in b.indices}
+        if ids_a != ids_b:
+            raise VectorizeFallback(
+                "sparse-sparse join over differing index-variable sets"
+            )
+        coords_a, vals_a = enumerate_entries(a.tensor.storage)
+        coords_b, vals_b = enumerate_entries(b.tensor.storage)
+        col_b = {id(v): m for m, v in enumerate(b.indices)}
+        shape = a.tensor.shape
+        keys_a = np.zeros(len(vals_a), dtype=np.int64)
+        keys_b = np.zeros(len(vals_b), dtype=np.int64)
+        for m, v in enumerate(a.indices):
+            keys_a = keys_a * shape[m] + coords_a[:, m]
+            keys_b = keys_b * shape[m] + coords_b[:, col_b[id(v)]]
+        if (len(np.unique(keys_a)) != len(keys_a)
+                or len(np.unique(keys_b)) != len(keys_b)):
+            raise VectorizeFallback(
+                "duplicate stored coordinates in a sparse-sparse join"
+            )
+        _, ia, ib = np.intersect1d(keys_a, keys_b, assume_unique=True,
+                                   return_indices=True)
+        return a, coords_a[ia], vals_a[ia] * vals_b[ib]
+
+
+def execute_numpy(stmt: IndexStmt | Assignment,
+                  strict: bool = False) -> np.ndarray:
+    """Execute a statement with the vectorized NumPy backend.
+
+    Falls back to :func:`repro.backends.cpu_exec.execute_cpu` for
+    non-vectorizable shapes unless ``strict`` is set.
+    """
+    return NumpyExecutor(stmt).run(strict=strict)

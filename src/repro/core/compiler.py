@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 import functools
+import os
 
 import numpy as np
 
@@ -22,6 +23,28 @@ from repro.spatial import codegen
 from repro.spatial.ir import SpatialProgram
 from repro.tensor.storage import TensorStorage, to_dense
 from repro.tensor.tensor import Tensor
+
+#: Execution engines for running a compiled kernel functionally.
+#:
+#: * ``interp`` — the Spatial program interpreter (:func:`run_program`),
+#:   the semantic oracle: handles every format in the registry.
+#: * ``cpu``    — the merge-lattice walker (``repro.backends.cpu_exec``),
+#:   a second, independent Python implementation.
+#: * ``numpy``  — the vectorized backend (``repro.backends.numpy_exec``);
+#:   orders of magnitude faster, falls back to ``cpu`` for shapes it
+#:   cannot vectorize.
+ENGINES = ("interp", "cpu", "numpy")
+
+#: Default engine for artefact generation (functional execution checks).
+DEFAULT_ENGINE = "numpy"
+
+
+def default_engine() -> str:
+    """The engine to use when none is requested (``REPRO_ENGINE`` env)."""
+    engine = os.environ.get("REPRO_ENGINE", DEFAULT_ENGINE)
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
+    return engine
 
 
 @dataclasses.dataclass
@@ -68,6 +91,30 @@ class CompiledKernel:
     def run_dense(self, **overrides: Tensor) -> np.ndarray:
         """Execute and densify the result (convenience for tests)."""
         return to_dense(self.run(**overrides))
+
+    def run_engine(self, engine: str | None = None) -> np.ndarray:
+        """Execute functionally with the selected engine, densified.
+
+        ``engine`` is one of :data:`ENGINES` (``None`` asks
+        :func:`default_engine`). All engines return the dense result in
+        the output tensor's shape; they agree up to floating-point
+        summation order, with ``interp`` as the oracle.
+        """
+        engine = default_engine() if engine is None else engine
+        if engine == "interp":
+            return self.run_dense()
+        out_shape = self.analysis.output.shape
+        if engine == "cpu":
+            from repro.backends.cpu_exec import CpuExecutor
+
+            result = CpuExecutor(self.stmt).run()
+            return np.asarray(result, dtype=np.float64).reshape(out_shape)
+        if engine == "numpy":
+            from repro.backends.numpy_exec import NumpyExecutor
+
+            result = NumpyExecutor(self.stmt).run()
+            return np.asarray(result, dtype=np.float64).reshape(out_shape)
+        raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
 
     def memory_report(self) -> str:
         return self.plan.report()

@@ -186,17 +186,93 @@ def evaluate(kernel_name: str, dataset_name: str,
     )
 
 
+class EngineMismatchError(AssertionError):
+    """A functional execution engine disagreed with the interpreter oracle."""
+
+
+def exec_check(kernel_name: str, dataset_name: str,
+               scale: float = DEFAULT_SCALE, engine: str | None = None,
+               seed: int = 7, use_cache: bool | None = None) -> dict:
+    """Functional-execution **stage**: run one cell with ``engine``.
+
+    Executes the kernel's statement with the selected engine and checks
+    the dense result against the Spatial interpreter
+    (``CompiledKernel.run_dense`` — the oracle: it executes the lowered
+    program and handles every format, and unlike the dense broadcast
+    reference it never materializes the full iteration-space product,
+    which is intractable at sweep scales for contractions like SDDMM).
+    Raises :class:`EngineMismatchError` on disagreement — so an artefact
+    job that embeds this check genuinely gates engine equivalence. Keyed
+    by the evaluation coordinates **plus the engine name** (the ``exec``
+    cache stage), so results for different engines never collide. For
+    ``engine="interp"`` the check is the oracle run itself.
+    """
+    from repro.core.compiler import default_engine
+
+    engine = default_engine() if engine is None else engine
+
+    def compute() -> dict:
+        import numpy as np
+
+        kernel = build_kernel_cached(kernel_name, dataset_name, scale, seed,
+                                     use_cache=use_cache)
+        expected = np.asarray(kernel.run_dense(), dtype=np.float64)
+        fell_back = False
+        if engine == "interp":
+            got = expected
+        elif engine == "numpy":
+            from repro.backends.numpy_exec import NumpyExecutor
+
+            executor = NumpyExecutor(kernel.stmt)
+            got = executor.run()
+            fell_back = executor.fell_back
+        else:
+            got = kernel.run_engine(engine)
+        got = np.asarray(got, dtype=np.float64).reshape(expected.shape)
+        magnitude = max(1.0, float(np.max(np.abs(expected))) if expected.size
+                        else 1.0)
+        maxerr = (float(np.max(np.abs(got - expected)))
+                  if expected.size else 0.0)
+        if maxerr > 1e-8 * magnitude:
+            raise EngineMismatchError(
+                f"{engine} engine disagrees with the interpreter oracle on "
+                f"{kernel_name}/{dataset_name} (scale={scale}): "
+                f"max abs error {maxerr:.3e}"
+            )
+        return {
+            "kernel": kernel_name,
+            "dataset": dataset_name,
+            "engine": engine,
+            "maxerr": maxerr,
+            "elements": int(expected.size),
+            "fell_back": fell_back,
+        }
+
+    return memoize_stage(
+        "exec", (kernel_name, dataset_name, scale, seed, engine),
+        compute, use_cache,
+    )
+
+
 # ---------------------------------------------------------------------------
 # Table 6 / Figure 13
 # ---------------------------------------------------------------------------
 
 
 def table6(scale: float = DEFAULT_SCALE, jobs: int | None = None,
-           use_cache: bool | None = None) -> dict[str, dict[str, float]]:
-    """Normalised geomean runtimes per platform per kernel (Table 6)."""
+           use_cache: bool | None = None,
+           engine: str | None = None) -> dict[str, dict[str, float]]:
+    """Normalised geomean runtimes per platform per kernel (Table 6).
+
+    ``engine`` selects the functional-execution engine used for the
+    per-cell :func:`exec_check`; the simulator-predicted table itself is
+    engine-invariant, so every engine yields byte-identical output (or
+    the run fails the equivalence check outright).
+    """
     from repro.pipeline.batch import run_artifact
 
-    return run_artifact("table6", scale, jobs=jobs, use_cache=use_cache)
+    return run_artifact("table6", scale, jobs=jobs, use_cache=use_cache,
+                        engine=engine)
 
 
 def format_table6(results: dict[str, dict[str, float]]) -> str:
@@ -235,9 +311,10 @@ def format_table6(results: dict[str, dict[str, float]]) -> str:
 
 
 def figure13(scale: float = DEFAULT_SCALE, jobs: int | None = None,
-             use_cache: bool | None = None) -> dict[str, dict[str, float]]:
+             use_cache: bool | None = None,
+             engine: str | None = None) -> dict[str, dict[str, float]]:
     """Figure 13 series: Capstan/GPU/CPU normalised runtimes per kernel."""
-    full = table6(scale, jobs=jobs, use_cache=use_cache)
+    full = table6(scale, jobs=jobs, use_cache=use_cache, engine=engine)
     return {
         "Capstan": full["Capstan (HBM2E)"],
         "GPU": full["V100 GPU"],
@@ -348,7 +425,8 @@ FORMAT_SWEEP_KERNELS = ("SpMV",) + FORMAT_KERNEL_ORDER
 
 
 def format_sweep(scale: float = DEFAULT_SCALE, jobs: int | None = None,
-                 use_cache: bool | None = None) -> dict[str, dict[str, dict]]:
+                 use_cache: bool | None = None,
+                 engine: str | None = None) -> dict[str, dict[str, dict]]:
     """Per-format kernel cost over the matrix datasets.
 
     Each cell compiles one format-sweep kernel on one dataset (the sparse
@@ -358,7 +436,8 @@ def format_sweep(scale: float = DEFAULT_SCALE, jobs: int | None = None,
     """
     from repro.pipeline.batch import run_artifact
 
-    return run_artifact("format_sweep", scale, jobs=jobs, use_cache=use_cache)
+    return run_artifact("format_sweep", scale, jobs=jobs, use_cache=use_cache,
+                        engine=engine)
 
 
 def format_format_sweep(results: dict[str, dict[str, dict]]) -> str:

@@ -40,10 +40,22 @@ ARTIFACT_NAMES = ("table3", "table5", "table6", "figure12", "format_sweep")
 
 
 def evaluate_cell(kernel_name: str, dataset_name: str, scale: float,
-                  use_cache: bool | None = None):
-    """One Table 6 cell: all-platform times for one kernel+dataset."""
+                  use_cache: bool | None = None,
+                  engine: str | None = None):
+    """One Table 6 cell: all-platform times for one kernel+dataset.
+
+    When ``engine`` is set, the cell first executes the kernel
+    functionally with that engine and validates the result against the
+    interpreter oracle (:func:`repro.eval.harness.exec_check`); a disagreeing
+    engine fails the job, so engine-selected artefact runs genuinely
+    gate execution equivalence. The simulator-predicted times themselves
+    are engine-invariant.
+    """
     from repro.eval import harness
 
+    if engine is not None:
+        harness.exec_check(kernel_name, dataset_name, scale, engine=engine,
+                           use_cache=use_cache)
     return harness.evaluate(kernel_name, dataset_name, scale,
                             use_cache=use_cache)
 
@@ -120,19 +132,25 @@ def figure12_cell(kernel_name: str, scale: float,
 
 
 def format_sweep_cell(kernel_name: str, dataset_name: str, scale: float,
-                      use_cache: bool | None = None):
+                      use_cache: bool | None = None,
+                      engine: str | None = None):
     """One format-sweep cell: per-format cost of a kernel on one dataset.
 
     The kernel's sparse operand is staged once per (dataset, format) by
     the conversion compiler (``repro.convert``), so every cell sharing a
     dataset reuses the same generated matrix and every cell sharing a
-    format reuses the converted storage.
+    format reuses the converted storage. ``engine`` adds the same
+    functional equivalence check as :func:`evaluate_cell`.
     """
     from repro.capstan.dram import HBM2E
     from repro.capstan.resources import estimate_resources_cached
     from repro.capstan.simulator import CapstanSimulator
     from repro.capstan.stats import compute_stats_cached
     from repro.eval import harness
+
+    if engine is not None:
+        harness.exec_check(kernel_name, dataset_name, scale, engine=engine,
+                           use_cache=use_cache)
 
     def compute():
         coords = (kernel_name, dataset_name, scale, 7)
@@ -165,16 +183,25 @@ def format_sweep_cell(kernel_name: str, dataset_name: str, scale: float,
 
 
 def artifact_jobs(artifact: str, scale: float,
-                  use_cache: bool | None = None) -> list[Job]:
-    """The (kernel, dataset, platform) job list for one artefact."""
+                  use_cache: bool | None = None,
+                  engine: str | None = None) -> list[Job]:
+    """The (kernel, dataset, platform) job list for one artefact.
+
+    ``engine`` only affects the cells that execute kernels functionally
+    (``table6`` and ``format_sweep``); job **keys** never include it, so
+    shard manifests stay engine-agnostic and merge across engines.
+    """
     from repro.data.datasets import datasets_for
     from repro.kernels.suite import KERNEL_ORDER
 
     kwargs = {"use_cache": use_cache}
+    # Leave the kwarg out entirely when unset, so engine-less runs call
+    # the cells exactly as they always did.
+    exec_kwargs = dict(kwargs, engine=engine) if engine is not None else kwargs
     if artifact == "table6":
         return [
             Job((kernel, dspec.name, "*"), evaluate_cell,
-                (kernel, dspec.name, scale), dict(kwargs))
+                (kernel, dspec.name, scale), dict(exec_kwargs))
             for kernel in KERNEL_ORDER
             for dspec in datasets_for(kernel)
         ]
@@ -195,7 +222,7 @@ def artifact_jobs(artifact: str, scale: float,
 
         return [
             Job((kernel, dspec.name, "format"), format_sweep_cell,
-                (kernel, dspec.name, scale), dict(kwargs))
+                (kernel, dspec.name, scale), dict(exec_kwargs))
             for kernel in FORMAT_SWEEP_KERNELS
             for dspec in datasets_for(kernel)
         ]
@@ -322,6 +349,7 @@ def run_artifact(
     jobs: int | None = None,
     use_cache: bool | None = None,
     kind: str = "thread",
+    engine: str | None = None,
 ):
     """Regenerate one artefact through the pipeline.
 
@@ -329,7 +357,7 @@ def run_artifact(
     Raises ``RuntimeError`` (with the captured traceback) if any job
     failed.
     """
-    results = run_jobs(artifact_jobs(artifact, scale, use_cache),
+    results = run_jobs(artifact_jobs(artifact, scale, use_cache, engine),
                        max_workers=jobs, kind=kind)
     record_result_costs(artifact, scale, results)
     return assemble_artifact(artifact, results)
@@ -341,6 +369,7 @@ def run_batch(
     jobs: int | None = None,
     use_cache: bool | None = None,
     kind: str = "thread",
+    engine: str | None = None,
 ) -> BatchRun:
     """Regenerate several artefacts, isolating failures per job.
 
@@ -353,7 +382,7 @@ def run_batch(
     assembled: dict[str, Any] = {}
     texts: dict[str, str] = {}
     for artifact in artifacts:
-        results = run_jobs(artifact_jobs(artifact, scale, use_cache),
+        results = run_jobs(artifact_jobs(artifact, scale, use_cache, engine),
                            max_workers=jobs, kind=kind)
         record_result_costs(artifact, scale, results)
         all_results[artifact] = results

@@ -137,6 +137,7 @@ class ChunkRequest:
     spec: ShardSpec
     use_cache: bool | None = None
     jobs: int | None = None  #: worker-internal thread count
+    engine: str | None = None  #: functional-execution engine for cells
 
     def batch_args(self) -> list[str]:
         """The ``repro`` CLI arguments that run this chunk.
@@ -150,6 +151,8 @@ class ChunkRequest:
             args.append("--no-cache")
         if self.jobs is not None:
             args += ["--jobs", str(self.jobs)]
+        if self.engine is not None:
+            args += ["--engine", self.engine]
         return args
 
 
@@ -354,6 +357,7 @@ class _ThreadHandle(WorkerHandle):
                     request.artifact, request.scale, request.spec,
                     jobs=request.jobs, use_cache=request.use_cache,
                     should_stop=self._cancel.is_set,
+                    engine=request.engine,
                 )
                 self._text = manifest.to_json()
                 self._code = 1 if manifest.failures() else 0
@@ -628,6 +632,7 @@ def dispatch(
     min_chunk: int = DEFAULT_MIN_CHUNK,
     stop_queue: bool = True,
     on_event: Callable[[str], None] | None = None,
+    engine: str | None = None,
 ) -> DispatchResult:
     """Drive ``artifact``'s whole job list through a worker pool.
 
@@ -724,7 +729,8 @@ def dispatch(
 
     def request_for(index: int) -> ChunkRequest:
         return ChunkRequest(artifact, scale, specs[index],
-                            use_cache=use_cache, jobs=worker_jobs)
+                            use_cache=use_cache, jobs=worker_jobs,
+                            engine=engine)
 
     def chunk_failed(index: int, why: str) -> None:
         last_error[index] = why
@@ -843,7 +849,8 @@ def dispatch(
                     attempt = next_attempt(index)
                     transport.enqueue(index, attempt, queue_task_payload(
                         artifact, scale, specs[index], use_cache,
-                        worker_jobs, lease_timeout=lease_timeout))
+                        worker_jobs, lease_timeout=lease_timeout,
+                        engine=engine))
                     outstanding.add(index)
                     events(f"chunk {specs[index]} -> {transport} "
                            f"(attempt {attempt})")

@@ -307,6 +307,7 @@ def _parse_task(text: str) -> dict:
         "use_cache": data.get("use_cache"),
         "jobs": data.get("jobs"),
         "lease_timeout": data.get("lease_timeout"),
+        "engine": data.get("engine"),
     }
 
 
@@ -415,6 +416,7 @@ def worker_loop(
                 jobs=task["jobs"] if jobs is None else jobs,
                 use_cache=task["use_cache"],
                 should_stop=revoked.is_set,
+                engine=task["engine"],
             )
         except Exception as exc:
             # run_shard isolates job failures; reaching here means the
@@ -462,12 +464,14 @@ def worker_loop(
 
 def queue_task_payload(artifact: str, scale: float, spec: ShardSpec,
                        use_cache: bool | None, jobs: int | None,
-                       lease_timeout: float | None = None) -> dict:
+                       lease_timeout: float | None = None,
+                       engine: str | None = None) -> dict:
     """The transport-agnostic body of one chunk task.
 
     ``lease_timeout`` tells the claiming worker how often it must
     heartbeat (at least 4x per lease) so a live worker never looks
-    silent to the dispatcher's expiry scan.
+    silent to the dispatcher's expiry scan. ``engine`` selects the
+    functional-execution engine the worker runs kernel cells with.
     """
     payload: dict[str, Any] = {"artifact": artifact, "scale": scale,
                                "shard": str(spec)}
@@ -477,4 +481,6 @@ def queue_task_payload(artifact: str, scale: float, spec: ShardSpec,
         payload["jobs"] = jobs
     if lease_timeout is not None:
         payload["lease_timeout"] = lease_timeout
+    if engine is not None:
+        payload["engine"] = engine
     return payload

@@ -334,6 +334,7 @@ def run_shard(
     kind: str = "thread",
     on_result=None,
     should_stop=None,
+    engine: str | None = None,
 ) -> ShardManifest:
     """Execute one shard of an artefact's job list into a manifest.
 
@@ -342,11 +343,13 @@ def run_shard(
     partial shards; :func:`merge_manifests` refuses to fold them.
     ``should_stop`` (a nullary predicate) cancels jobs not yet started —
     the dispatcher revokes an expired in-process lease through it, and
-    the cancelled jobs appear as failures in the manifest.
+    the cancelled jobs appear as failures in the manifest. ``engine``
+    selects the functional-execution engine for cells that run kernels;
+    job keys and manifests stay engine-agnostic.
     """
     from repro.pipeline.batch import record_result_costs
 
-    all_jobs = artifact_jobs(artifact, scale, use_cache)
+    all_jobs = artifact_jobs(artifact, scale, use_cache, engine)
     results = run_jobs(spec.select(all_jobs), max_workers=jobs, kind=kind,
                        on_result=on_result, should_stop=should_stop)
     # Feed the work-stealing cost model from the worker side too: shard

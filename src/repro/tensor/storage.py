@@ -321,6 +321,14 @@ def to_dense(storage: TensorStorage) -> np.ndarray:
     """Materialise the tensor as a dense numpy array."""
     if storage.order == 0:
         return np.array(storage.vals[0])
+    if all(isinstance(lvl, DenseLevel) for lvl in storage.levels):
+        # All-dense storage holds one value per slot in level order: a
+        # reshape plus a mode-permuting transpose avoids the COO expansion.
+        arr = storage.vals.reshape(
+            [storage.level_dim(L) for L in range(storage.order)]
+        )
+        perm = [storage.fmt.level_of_mode(m) for m in range(storage.order)]
+        return np.ascontiguousarray(np.transpose(arr, perm))
     dense = np.zeros(storage.dims, dtype=np.float64)
     coords, vals = unpack(storage)
     if len(vals):
