@@ -10,9 +10,10 @@ import pytest
 
 from benchmarks.conftest import JOBS, SCALE
 from repro.util import ascii_xy
+from repro.api import CompileRequest, build
 from repro.capstan import CapstanSimulator, compute_stats
 from repro.data import datasets_for
-from repro.eval.harness import build_kernel, figure12, format_figure12
+from repro.eval.harness import figure12, format_figure12
 from repro.eval.paper_results import FIG12_BANDWIDTHS
 from repro.kernels import KERNEL_ORDER
 
@@ -20,7 +21,9 @@ from repro.kernels import KERNEL_ORDER
 @pytest.mark.parametrize("name", KERNEL_ORDER)
 def test_bandwidth_sweep(benchmark, name):
     """Benchmark: the seven-point bandwidth sweep for one kernel."""
-    kernel = build_kernel(name, datasets_for(name)[0].name, SCALE)
+    kernel = build(CompileRequest(kernel=name,
+                                  dataset=datasets_for(name)[0].name,
+                                  scale=SCALE))
     stats = compute_stats(kernel)
     sim = CapstanSimulator()
     sweep = benchmark.pedantic(

@@ -81,16 +81,17 @@ def collect_speedups(scale: float = SMOKE_SCALE,
     numpy result is checked against the interpreter's before its timing
     counts — a wrong fast engine is a failure, not a data point.
     """
+    from repro.api import CompileRequest, build
     from repro.backends.numpy_exec import NumpyExecutor
     from repro.data.datasets import datasets_for
-    from repro.eval.harness import build_kernel_cached
     from repro.kernels.suite import KERNEL_ORDER
 
     metrics: dict[str, dict | float] = {}
     speedups = []
     for kernel_name in KERNEL_ORDER:
         dataset = datasets_for(kernel_name)[0].name
-        kernel = build_kernel_cached(kernel_name, dataset, scale)
+        kernel = build(CompileRequest(kernel=kernel_name, dataset=dataset,
+                                      scale=scale))
         t0 = time.perf_counter()
         reference = kernel.run_dense()
         interp_s = time.perf_counter() - t0

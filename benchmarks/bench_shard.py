@@ -18,8 +18,15 @@ import time
 
 from benchmarks.conftest import TINY
 
-from repro.eval.harness import evaluate, table6
+from repro.api import CompileRequest
+from repro.api import evaluate as api_evaluate
+from repro.eval.harness import table6
 from repro.pipeline.shard import ShardSpec, merge_manifests, run_shard
+
+
+def evaluate(kernel, dataset, scale, use_cache=None):
+    request = CompileRequest(kernel=kernel, dataset=dataset, scale=scale)
+    return api_evaluate(request, use_cache=use_cache).platform_times()
 
 
 def test_shard_merge_vs_serial(benchmark, report, tmp_path,

@@ -16,8 +16,9 @@ from statistics import geometric_mean
 import pytest
 
 from benchmarks.conftest import JOBS, SCALE
+from repro.api import CompileRequest, evaluate
 from repro.data import datasets_for
-from repro.eval.harness import evaluate, format_table6, table6
+from repro.eval.harness import format_table6, table6
 from repro.kernels import KERNEL_ORDER
 
 
@@ -25,10 +26,12 @@ from repro.kernels import KERNEL_ORDER
 def test_evaluate_kernel(benchmark, name):
     """Benchmark: one kernel's full cross-platform evaluation."""
     dataset = datasets_for(name)[0].name
-    times = benchmark.pedantic(
-        evaluate, args=(name, dataset, SCALE),
+    request = CompileRequest(kernel=name, dataset=dataset, scale=SCALE)
+    result = benchmark.pedantic(
+        evaluate, args=(request,),
         kwargs={"use_cache": False}, rounds=1, iterations=1
     )
+    times = result.platform_times()
     norm = times.normalised()
     assert norm["Capstan (HBM2E)"] == 1.0
     assert norm["Capstan (Ideal)"] <= 1.0

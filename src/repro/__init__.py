@@ -15,6 +15,7 @@ from repro.capstan import (
     estimate_resources,
 )
 from repro.core import CompiledKernel, compile_stmt, compile_tensor
+from repro.core.compiler import ENGINES
 from repro.formats import (
     CSC,
     CSF,
@@ -41,6 +42,7 @@ from repro.pipeline import (
     run_jobs,
 )
 from repro.schedule import INNER_PAR, OUTER_PAR, REDUCTION, SPATIAL, IndexStmt
+from repro.service.api import CompileRequest, CompileResult
 from repro.tensor import Tensor, evaluate_dense, scalar, to_dense, vector
 
 __version__ = "1.0.0"
@@ -52,11 +54,14 @@ __all__ = [
     "CapstanConfig",
     "CapstanSimulator",
     "CompilationCache",
+    "CompileRequest",
+    "CompileResult",
     "CompiledKernel",
     "DDR4",
     "DENSE_MATRIX",
     "DENSE_MATRIX_CM",
     "DENSE_VECTOR",
+    "ENGINES",
     "Format",
     "HBM2E",
     "IDEAL",

@@ -23,11 +23,18 @@ Subcommands:
   persists per-chunk manifests and picks up a partially completed
   dispatch; ``--steal`` cuts cost-balanced chunks from the persistent
   per-job cost table instead of uniform slices.
-* ``worker``   — attach an elastic worker to a ``queue:DIR`` dispatch:
-  claims chunk tasks by atomic rename, heartbeats while running them,
-  streams manifests back through the queue directory, and exits when
+* ``worker``   — attach an elastic worker to a ``queue:DIR`` pool:
+  claims chunk tasks (from ``dispatch``) and compile-request tasks
+  (from ``serve``) by atomic rename, heartbeats while running them,
+  streams results back through the queue directory, and exits when
   the dispatcher raises the stop sentinel. Start and stop workers on
   any host (sharing the directory) at any point mid-sweep.
+* ``serve``    — run the compile-as-a-service daemon: an HTTP/JSON
+  front end over the typed ``repro.api`` request surface. Hot requests
+  are answered straight from the staged cache, identical in-flight
+  requests coalesce into one job, and misses run on an ``inline:N``
+  thread pool or an elastic ``queue:DIR`` worker pool. SIGTERM drains
+  gracefully; ``/stats`` reports serve and cache counters.
 * ``merge``    — validate shard manifests and fold them into the full
   artefact, byte-identical to the serial ``tables`` output. Arguments
   may be glob patterns (quoted, for non-shell callers).
@@ -37,7 +44,9 @@ Subcommands:
 * ``convert``  — synthesize and run a format-conversion plan between two
   registered formats on a matrix dataset (the ``repro.convert``
   conversion compiler).
-* ``cache``    — inspect or clear the on-disk compilation cache.
+* ``cache``    — inspect or clear the on-disk compilation cache
+  (``--json`` emits the same stats payload the serve daemon exposes
+  at ``/stats``).
 """
 
 from __future__ import annotations
@@ -64,10 +73,11 @@ def _cmd_kernels(_args) -> int:
 
 
 def _cmd_compile(args) -> int:
+    from repro.api import CompileRequest, build
     from repro.backends import lower_cpu
-    from repro.eval.harness import build_kernel
 
-    kernel = build_kernel(args.kernel, args.dataset, args.scale)
+    kernel = build(CompileRequest(kernel=args.kernel, dataset=args.dataset,
+                                  scale=args.scale))
     if args.memory_report:
         print(kernel.memory_report())
         print()
@@ -81,11 +91,12 @@ def _cmd_compile(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
-    from repro.eval.harness import evaluate
+    from repro.api import BASELINE_PLATFORM, CompileRequest, evaluate
 
-    times = evaluate(args.kernel, args.dataset, args.scale,
-                     use_cache=_use_cache(args))
-    base = times.seconds["Capstan (HBM2E)"]
+    request = CompileRequest(kernel=args.kernel, dataset=args.dataset,
+                             scale=args.scale)
+    times = evaluate(request, use_cache=_use_cache(args)).platform_times()
+    base = times.seconds[BASELINE_PLATFORM]
     print(f"{args.kernel} on {args.dataset} (scale {args.scale}):")
     for platform, seconds in times.seconds.items():
         print(f"  {platform:34s}{seconds * 1e6:14.2f} us"
@@ -401,12 +412,46 @@ def _cmd_worker(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service.server import ServeConfig, ServeError, run_service
+
+    def event(message: str) -> None:
+        if not args.quiet:
+            print(message, file=sys.stderr)
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        pool=args.pool,
+        max_inflight=args.max_inflight,
+        request_timeout=args.timeout,
+        drain_grace=args.drain_grace,
+        queue_lease=args.lease_timeout,
+        use_cache=_use_cache(args),
+        on_event=event,
+    )
+    try:
+        return run_service(config)
+    except ServeError as exc:
+        print(f"serve error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"serve error: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+
+
 def _cmd_cache(args) -> int:
     from repro.pipeline.cache import compiler_version, default_cache
 
     cache = default_cache()
     info = cache.disk_info()
     if args.action == "info":
+        if args.json:
+            from repro.service.stats import render_cache_stats
+
+            print(render_cache_stats())
+            return 0
         where = info["dir"] or "(disk store disabled)"
         print(f"cache dir:        {where}")
         print(f"compiler version: {compiler_version()}")
@@ -570,10 +615,12 @@ def main(argv: list[str] | None = None) -> int:
 
     p_work = sub.add_parser(
         "worker",
-        help="attach an elastic worker to a queue:DIR dispatch (claims "
-             "chunk tasks until the dispatcher stops the queue)")
+        help="attach an elastic worker to a queue:DIR pool (claims "
+             "dispatch chunks and serve compile-requests until the "
+             "queue is stopped)")
     p_work.add_argument("dir", help="the queue directory given to "
-                                    "`dispatch --workers queue:DIR`")
+                                    "`dispatch --workers queue:DIR` or "
+                                    "`serve --pool queue:DIR`")
     p_work.add_argument("--poll", type=float, default=0.5, metavar="S",
                         help="seconds between empty-queue scans "
                              "(default 0.5)")
@@ -606,8 +653,49 @@ def main(argv: list[str] | None = None) -> int:
     p_conv.add_argument("--no-cache", action="store_true",
                         help="bypass the dataset/conversion cache")
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the compile-as-a-service daemon: HTTP/JSON requests "
+             "answered from the staged cache, coalesced, and fed to a "
+             "worker pool on miss")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8757,
+                         help="listen port (0 picks an ephemeral port; the "
+                              "banner reports it)")
+    p_serve.add_argument("--pool", default="inline:2", metavar="SPEC",
+                         help="miss backend: inline:N in-process threads "
+                              "(default inline:2) or queue:DIR (elastic "
+                              "pool; attach `repro worker DIR` processes "
+                              "at any time)")
+    p_serve.add_argument("--max-inflight", type=int, default=32, metavar="N",
+                         help="bound on concurrently running jobs; beyond "
+                              "it new work is rejected with 429 "
+                              "(default 32)")
+    p_serve.add_argument("--timeout", type=float, default=120.0, metavar="S",
+                         help="per-request wall-clock bound; 504 on expiry "
+                              "(default 120)")
+    p_serve.add_argument("--drain-grace", type=float, default=30.0,
+                         metavar="S",
+                         help="hard deadline for the SIGTERM graceful "
+                              "drain (default 30)")
+    p_serve.add_argument("--lease-timeout", type=float, default=60.0,
+                         metavar="S",
+                         help="queue:DIR pool: seconds before a silent "
+                              "worker's request is re-enqueued (default 60)")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="workers bypass the compilation/result cache "
+                              "(the daemon's hot path still serves "
+                              "pre-existing entries)")
+    p_serve.add_argument("--quiet", action="store_true",
+                         help="suppress pool events on stderr")
+
     p_cache = sub.add_parser("cache", help="inspect or clear the cache")
-    p_cache.add_argument("action", choices=["info", "clear"])
+    p_cache.add_argument("action", nargs="?", choices=["info", "clear"],
+                         default="info")
+    p_cache.add_argument("--json", action="store_true",
+                         help="print cache stats as JSON — the same "
+                              "payload as the serve daemon's /stats "
+                              "cache section")
 
     args = parser.parse_args(argv)
 
@@ -627,6 +715,7 @@ def main(argv: list[str] | None = None) -> int:
         "merge": _cmd_merge,
         "formats": _cmd_formats,
         "convert": _cmd_convert,
+        "serve": _cmd_serve,
         "cache": _cmd_cache,
     }
     return handlers[args.command](args)

@@ -10,247 +10,147 @@ worker pool (``jobs=N``) and memoize through the content-addressed
 compilation cache (disable with ``use_cache=False`` or the
 ``REPRO_NO_CACHE`` environment variable). Parallel runs assemble results
 in deterministic job order, so they are byte-identical to serial runs.
+
+Compile-request handling itself lives in :mod:`repro.service.api` now:
+every cell is a typed :class:`~repro.service.api.CompileRequest` and this
+module keeps only the artefact orchestration plus thin back-compat
+wrappers for the old positional signatures (which emit a
+``DeprecationWarning`` once per process — new code should go through
+:mod:`repro.api`).
 """
 
 from __future__ import annotations
 
-import dataclasses
-import os
+import warnings
 from statistics import geometric_mean
 
-from repro.backends.cpu import CpuBackend
-from repro.backends.gpu import GpuBackend
-from repro.backends.handwritten import (
-    HandwrittenCapstanSpMV,
-    HandwrittenPlasticineSpMV,
-    handwritten_capstan_loc,
-)
-from repro.capstan.dram import DDR4, HBM2E, IDEAL
-from repro.capstan.resources import ResourceEstimate, estimate_resources_cached
-from repro.capstan.simulator import CapstanSimulator
-from repro.capstan.stats import compute_stats_cached
-from repro.core.compiler import CompiledKernel, compile_stmt
-from repro.data.datasets import datasets_for, load
+from repro.backends.handwritten import handwritten_capstan_loc
+from repro.capstan.resources import ResourceEstimate
+from repro.core.compiler import CompiledKernel
+from repro.data.datasets import datasets_for
 from repro.eval import paper_results
-from repro.kernels.suite import FORMAT_KERNEL_ORDER, KERNEL_ORDER, KERNELS
-from repro.pipeline.cache import memoize_stage
+from repro.kernels.suite import FORMAT_KERNEL_ORDER, KERNEL_ORDER
+from repro.service import api as _api
+from repro.service.api import (  # noqa: F401 - back-compat re-exports
+    BASELINE_PLATFORM,
+    DEFAULT_SCALE,
+    PLATFORMS,
+    EngineMismatchError,
+    PlatformTimes,
+    first_dataset,
+)
+from repro.service.api import CompileRequest
 from repro.tensor.tensor import Tensor
 
-#: Default dataset scale; override with REPRO_SCALE (1.0 = full Table 4).
-DEFAULT_SCALE = float(os.environ.get("REPRO_SCALE", "0.25"))
+#: Names re-exported for callers that still import them from here.
+__all__ = [
+    "BASELINE_PLATFORM",
+    "DEFAULT_SCALE",
+    "FORMAT_SWEEP_KERNELS",
+    "PLATFORMS",
+    "EngineMismatchError",
+    "PlatformTimes",
+    "build_kernel",
+    "build_kernel_cached",
+    "evaluate",
+    "exec_check",
+    "figure12",
+    "figure13",
+    "first_dataset",
+    "format_figure12",
+    "format_format_sweep",
+    "format_sweep",
+    "format_table3",
+    "format_table5",
+    "format_table6",
+    "load_dataset_cached",
+    "table3",
+    "table5",
+    "table6",
+]
 
-PLATFORMS = (
-    "Capstan (Ideal)",
-    "Capstan (HBM2E)",
-    "Capstan (DDR4)",
-    "V100 GPU",
-    "128-Thread CPU",
-)
 
-#: The normalisation baseline of Table 6 / Figure 13.
-BASELINE_PLATFORM = "Capstan (HBM2E)"
+# ---------------------------------------------------------------------------
+# Back-compat wrappers over repro.service.api
+# ---------------------------------------------------------------------------
+
+#: Deprecated entry points that already warned (once per process each).
+_DEPRECATED_SEEN: set[str] = set()
 
 
-def first_dataset(kernel_name: str) -> str:
-    """The kernel's first Table 4 dataset (used for structural artefacts)."""
-    return datasets_for(kernel_name)[0].name
+def _warn_deprecated(name: str, replacement: str) -> None:
+    if name in _DEPRECATED_SEEN:
+        return
+    _DEPRECATED_SEEN.add(name)
+    warnings.warn(
+        f"repro.eval.harness.{name}() is deprecated; build a "
+        f"repro.api.CompileRequest and call {replacement} instead",
+        DeprecationWarning, stacklevel=3,
+    )
 
 
 def load_dataset_cached(kernel_name: str, dataset_name: str, scale: float,
                         seed: int = 7,
                         use_cache: bool | None = None) -> dict[str, Tensor]:
-    """Dataset-generation **stage**: the kernel's packed operand tensors.
-
-    Generating and packing the synthetic Table 4 datasets dominates cold
-    build time but involves no compiler code, so this stage is keyed by a
-    hash of only the data/format/tensor sources and — uniquely — stays
-    warm under ``--no-cache``: a forced recompile reuses the generated
-    datasets while every later stage recomputes.
-    """
-    return memoize_stage(
-        "dataset", (kernel_name, dataset_name, scale, seed),
-        lambda: load(kernel_name, dataset_name, scale=scale, seed=seed),
-        use_cache,
+    """Dataset-generation stage (see :func:`repro.service.api.load_dataset`)."""
+    return _api.load_dataset(
+        CompileRequest(kernel=kernel_name, dataset=dataset_name, scale=scale,
+                       seed=seed),
+        use_cache=use_cache,
     )
 
 
 def build_kernel(kernel_name: str, dataset_name: str, scale: float,
                  seed: int = 7, use_cache: bool | None = None) -> CompiledKernel:
-    """Materialise a dataset (dataset stage) and compile the kernel on it.
-
-    Both halves are separately-staged cache entries: the dataset stage
-    survives ``--no-cache`` and compiler edits; the compilation stage is
-    memoized by statement fingerprint inside :func:`compile_stmt`.
-    """
-    spec = KERNELS[kernel_name]
-    tensors = load_dataset_cached(kernel_name, dataset_name, scale, seed,
-                                  use_cache=use_cache)
-    stmt, _out = spec.build(tensors)
-    return compile_stmt(stmt, kernel_name, cache=use_cache)
+    """Deprecated positional wrapper over :func:`repro.service.api.build`."""
+    _warn_deprecated("build_kernel", "repro.api.build(request)")
+    return _api.build(
+        CompileRequest(kernel=kernel_name, dataset=dataset_name, scale=scale,
+                       seed=seed),
+        use_cache=use_cache,
+    )
 
 
 def build_kernel_cached(kernel_name: str, dataset_name: str, scale: float,
                         seed: int = 7,
                         use_cache: bool | None = None) -> CompiledKernel:
-    """:func:`build_kernel` memoized under the ``build`` stage.
-
-    Keyed by the evaluation coordinates; a warm hit skips even the
-    statement construction and fingerprinting. On a ``--no-cache`` run
-    this stage bypasses, falling through to the staged
-    :func:`build_kernel` so dataset generation is still reused.
-    """
-    return memoize_stage(
-        "build", (kernel_name, dataset_name, scale, seed),
-        lambda: build_kernel(kernel_name, dataset_name, scale, seed,
-                             use_cache=use_cache),
-        use_cache,
+    """Deprecated positional wrapper over :func:`repro.service.api.build`."""
+    _warn_deprecated("build_kernel_cached", "repro.api.build(request)")
+    return _api.build(
+        CompileRequest(kernel=kernel_name, dataset=dataset_name, scale=scale,
+                       seed=seed),
+        use_cache=use_cache,
     )
-
-
-@dataclasses.dataclass
-class PlatformTimes:
-    """Predicted seconds per platform for one kernel+dataset."""
-
-    kernel: str
-    dataset: str
-    seconds: dict[str, float]
-
-    def normalised(self) -> dict[str, float]:
-        base = self.seconds[BASELINE_PLATFORM]
-        return {p: s / base for p, s in self.seconds.items()}
-
-
-def _platform_models(kernel: CompiledKernel, stats, sim: CapstanSimulator,
-                     resources) -> dict[str, object]:
-    """Per-platform runtime predictors (lazily evaluated thunks)."""
-    models = {
-        "Capstan (Ideal)": lambda: sim.simulate(
-            kernel, dram=IDEAL, stats=stats, resources=resources).seconds,
-        "Capstan (HBM2E)": lambda: sim.simulate(
-            kernel, dram=HBM2E, stats=stats, resources=resources).seconds,
-        "Capstan (DDR4)": lambda: sim.simulate(
-            kernel, dram=DDR4, stats=stats, resources=resources).seconds,
-        "V100 GPU": lambda: GpuBackend().predict_seconds(kernel, stats),
-        "128-Thread CPU": lambda: CpuBackend().predict_seconds(kernel, stats),
-    }
-    if kernel.name == "SpMV":
-        models["Capstan (HBM2E, handwritten)"] = (
-            lambda: HandwrittenCapstanSpMV().predict_seconds(stats, HBM2E)
-        )
-        models["Plasticine (HBM2E, handwritten)"] = (
-            lambda: HandwrittenPlasticineSpMV().predict_seconds(stats, HBM2E)
-        )
-    return models
 
 
 def evaluate(kernel_name: str, dataset_name: str,
              scale: float = DEFAULT_SCALE,
              platforms: tuple[str, ...] | None = None,
              use_cache: bool | None = None) -> PlatformTimes:
-    """Predict runtimes on every platform for one kernel+dataset.
+    """Deprecated positional wrapper over :func:`repro.service.api.evaluate`.
 
-    Args:
-        platforms: restrict prediction to these platform names (default:
-            all applicable platforms). Note :meth:`PlatformTimes.normalised`
-            needs the ``Capstan (HBM2E)`` baseline to be included.
-        use_cache: route the result through the pipeline cache (``None``
-            honours ``REPRO_NO_CACHE``).
+    Returns the evaluate payload as :class:`PlatformTimes`, exactly as
+    before; the staged result entry is shared with every caller of the
+    typed API (same canonical request, same key).
     """
+    _warn_deprecated("evaluate", "repro.api.evaluate(request)")
     wanted = tuple(platforms) if platforms is not None else None
-
-    def compute() -> PlatformTimes:
-        coords = (kernel_name, dataset_name, scale, 7)
-        kernel = build_kernel_cached(kernel_name, dataset_name, scale,
-                                     use_cache=use_cache)
-        stats = compute_stats_cached(kernel, coords, use_cache)
-        sim = CapstanSimulator()
-        resources = estimate_resources_cached(kernel, coords, use_cache)
-        models = _platform_models(kernel, stats, sim, resources)
-        if wanted is not None:
-            unknown = [p for p in wanted if p not in models]
-            if unknown:
-                raise ValueError(
-                    f"unknown platform(s) {unknown} for {kernel_name}; "
-                    f"choose from {sorted(models)}"
-                )
-        seconds = {
-            name: model()
-            for name, model in models.items()
-            if wanted is None or name in wanted
-        }
-        return PlatformTimes(kernel_name, dataset_name, seconds)
-
-    return memoize_stage(
-        "evaluate", (kernel_name, dataset_name, scale, 7, wanted),
-        compute, use_cache,
+    result = _api.evaluate(
+        CompileRequest(kernel=kernel_name, dataset=dataset_name, scale=scale,
+                       platforms=wanted),
+        use_cache=use_cache,
     )
-
-
-class EngineMismatchError(AssertionError):
-    """A functional execution engine disagreed with the interpreter oracle."""
+    return result.platform_times()
 
 
 def exec_check(kernel_name: str, dataset_name: str,
                scale: float = DEFAULT_SCALE, engine: str | None = None,
                seed: int = 7, use_cache: bool | None = None) -> dict:
-    """Functional-execution **stage**: run one cell with ``engine``.
-
-    Executes the kernel's statement with the selected engine and checks
-    the dense result against the Spatial interpreter
-    (``CompiledKernel.run_dense`` — the oracle: it executes the lowered
-    program and handles every format, and unlike the dense broadcast
-    reference it never materializes the full iteration-space product,
-    which is intractable at sweep scales for contractions like SDDMM).
-    Raises :class:`EngineMismatchError` on disagreement — so an artefact
-    job that embeds this check genuinely gates engine equivalence. Keyed
-    by the evaluation coordinates **plus the engine name** (the ``exec``
-    cache stage), so results for different engines never collide. For
-    ``engine="interp"`` the check is the oracle run itself.
-    """
-    from repro.core.compiler import default_engine
-
-    engine = default_engine() if engine is None else engine
-
-    def compute() -> dict:
-        import numpy as np
-
-        kernel = build_kernel_cached(kernel_name, dataset_name, scale, seed,
-                                     use_cache=use_cache)
-        expected = np.asarray(kernel.run_dense(), dtype=np.float64)
-        fell_back = False
-        if engine == "interp":
-            got = expected
-        elif engine == "numpy":
-            from repro.backends.numpy_exec import NumpyExecutor
-
-            executor = NumpyExecutor(kernel.stmt)
-            got = executor.run()
-            fell_back = executor.fell_back
-        else:
-            got = kernel.run_engine(engine)
-        got = np.asarray(got, dtype=np.float64).reshape(expected.shape)
-        magnitude = max(1.0, float(np.max(np.abs(expected))) if expected.size
-                        else 1.0)
-        maxerr = (float(np.max(np.abs(got - expected)))
-                  if expected.size else 0.0)
-        if maxerr > 1e-8 * magnitude:
-            raise EngineMismatchError(
-                f"{engine} engine disagrees with the interpreter oracle on "
-                f"{kernel_name}/{dataset_name} (scale={scale}): "
-                f"max abs error {maxerr:.3e}"
-            )
-        return {
-            "kernel": kernel_name,
-            "dataset": dataset_name,
-            "engine": engine,
-            "maxerr": maxerr,
-            "elements": int(expected.size),
-            "fell_back": fell_back,
-        }
-
-    return memoize_stage(
-        "exec", (kernel_name, dataset_name, scale, seed, engine),
-        compute, use_cache,
+    """Functional-execution stage (see :func:`repro.service.api.exec_check`)."""
+    return _api.exec_check(
+        CompileRequest(kernel=kernel_name, dataset=dataset_name, scale=scale,
+                       seed=seed, engine=engine),
+        use_cache=use_cache,
     )
 
 

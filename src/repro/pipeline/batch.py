@@ -46,18 +46,27 @@ def evaluate_cell(kernel_name: str, dataset_name: str, scale: float,
 
     When ``engine`` is set, the cell first executes the kernel
     functionally with that engine and validates the result against the
-    interpreter oracle (:func:`repro.eval.harness.exec_check`); a disagreeing
-    engine fails the job, so engine-selected artefact runs genuinely
-    gate execution equivalence. The simulator-predicted times themselves
-    are engine-invariant.
+    interpreter oracle (:func:`repro.service.api.exec_check`); a
+    disagreeing engine fails the job, so engine-selected artefact runs
+    genuinely gate execution equivalence. The simulator-predicted times
+    themselves are engine-invariant: the request keyed *with* the engine
+    carries the check, the engine-less request carries the times, so
+    shard manifests stay byte-identical across engines.
     """
-    from repro.eval import harness
+    from repro.service import api
 
     if engine is not None:
-        harness.exec_check(kernel_name, dataset_name, scale, engine=engine,
-                           use_cache=use_cache)
-    return harness.evaluate(kernel_name, dataset_name, scale,
-                            use_cache=use_cache)
+        api.exec_check(
+            api.CompileRequest(kernel=kernel_name, dataset=dataset_name,
+                               scale=scale, engine=engine),
+            use_cache=use_cache,
+        )
+    result = api.evaluate(
+        api.CompileRequest(kernel=kernel_name, dataset=dataset_name,
+                           scale=scale),
+        use_cache=use_cache,
+    )
+    return result.platform_times()
 
 
 def table5_cell(kernel_name: str, scale: float,
@@ -69,13 +78,16 @@ def table5_cell(kernel_name: str, scale: float,
     estimate first serves every other artefact that needs it.
     """
     from repro.capstan.resources import estimate_resources
-    from repro.eval import harness
+    from repro.service import api
 
-    dataset = harness.first_dataset(kernel_name)
+    dataset = api.first_dataset(kernel_name)
 
     def compute():
-        kernel = harness.build_kernel_cached(kernel_name, dataset, scale,
-                                             use_cache=use_cache)
+        kernel = api.build(
+            api.CompileRequest(kernel=kernel_name, dataset=dataset,
+                               scale=scale),
+            use_cache=use_cache,
+        )
         return estimate_resources(kernel)
 
     return memoize_stage("resources", (kernel_name, dataset, scale, 7),
@@ -85,20 +97,22 @@ def table5_cell(kernel_name: str, scale: float,
 def table3_cell(kernel_name: str, scale: float,
                 use_cache: bool | None = None):
     """One Table 3 row: input vs generated lines of code."""
-    from repro.eval import harness
     from repro.eval import paper_results
-    from repro.kernels.suite import KERNELS
+    from repro.service import api
 
     def compute():
-        spec = KERNELS[kernel_name]
-        kernel = harness.build_kernel_cached(
-            kernel_name, harness.first_dataset(kernel_name), scale,
+        # The compile-action request renders exactly this cell's data
+        # (and shares its staged entry with `repro compile` and the
+        # daemon's /compile endpoint).
+        result = api.compile(
+            api.CompileRequest(kernel=kernel_name, scale=scale,
+                               action="compile"),
             use_cache=use_cache,
         )
         paper_in, paper_sp = paper_results.TABLE3_LOC[kernel_name]
         return {
-            "input_loc": spec.input_loc(),
-            "spatial_loc": kernel.spatial_loc,
+            "input_loc": result.input_loc,
+            "spatial_loc": result.spatial_loc,
             "paper_input_loc": paper_in,
             "paper_spatial_loc": paper_sp,
         }
@@ -111,14 +125,17 @@ def figure12_cell(kernel_name: str, scale: float,
     """One Figure 12 series: the bandwidth sweep for one kernel."""
     from repro.capstan.simulator import CapstanSimulator
     from repro.capstan.stats import compute_stats_cached
-    from repro.eval import harness
     from repro.eval.paper_results import FIG12_BANDWIDTHS
+    from repro.service import api
 
-    dataset = harness.first_dataset(kernel_name)
+    dataset = api.first_dataset(kernel_name)
 
     def compute():
-        kernel = harness.build_kernel_cached(kernel_name, dataset, scale,
-                                             use_cache=use_cache)
+        kernel = api.build(
+            api.CompileRequest(kernel=kernel_name, dataset=dataset,
+                               scale=scale),
+            use_cache=use_cache,
+        )
         # Shares the per-cell stats entry with the Table 6 simulations.
         stats = compute_stats_cached(kernel, (kernel_name, dataset, scale, 7),
                                      use_cache)
@@ -146,16 +163,22 @@ def format_sweep_cell(kernel_name: str, dataset_name: str, scale: float,
     from repro.capstan.resources import estimate_resources_cached
     from repro.capstan.simulator import CapstanSimulator
     from repro.capstan.stats import compute_stats_cached
-    from repro.eval import harness
+    from repro.service import api
 
     if engine is not None:
-        harness.exec_check(kernel_name, dataset_name, scale, engine=engine,
-                           use_cache=use_cache)
+        api.exec_check(
+            api.CompileRequest(kernel=kernel_name, dataset=dataset_name,
+                               scale=scale, engine=engine),
+            use_cache=use_cache,
+        )
 
     def compute():
         coords = (kernel_name, dataset_name, scale, 7)
-        kernel = harness.build_kernel_cached(kernel_name, dataset_name, scale,
-                                             use_cache=use_cache)
+        kernel = api.build(
+            api.CompileRequest(kernel=kernel_name, dataset=dataset_name,
+                               scale=scale),
+            use_cache=use_cache,
+        )
         stats = compute_stats_cached(kernel, coords, use_cache)
         resources = estimate_resources_cached(kernel, coords, use_cache)
         seconds = CapstanSimulator().simulate(

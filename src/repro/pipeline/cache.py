@@ -68,6 +68,7 @@ __all__ = [
     "make_key",
     "memoize",
     "memoize_stage",
+    "peek_stage",
     "put_stage",
     "stage_version",
     "subsystem_version",
@@ -409,6 +410,21 @@ class CompilationCache:
         self.put(key, value, version=version)
         return value
 
+    def peek(self, key: str, default: Any = None, stage: str | None = None,
+             version: str | None = None):
+        """:meth:`get`, with the lookup tallied per stage (no compute).
+
+        The serve daemon answers hot requests straight from the store
+        through this: a hit is a finished result, a miss goes to the
+        worker pool — either way the per-stage counters in
+        :attr:`stats` record it, so ``/stats`` shows daemon traffic.
+        """
+        value = self.get(key, _MISSING, version=version)
+        if stage is not None:
+            with self._lock:
+                self.stats.record_stage(stage, hit=value is not _MISSING)
+        return default if value is _MISSING else value
+
     def clear_memory(self) -> None:
         with self._lock:
             self._memory.clear()
@@ -591,6 +607,20 @@ def get_stage(stage: str, parts: tuple, default: Any = None) -> Any:
     version = stage_version(stage)
     return default_cache().get(make_key(stage, *parts, version=version),
                                default, version=version)
+
+
+def peek_stage(stage: str, parts: tuple, default: Any = None) -> Any:
+    """Read one staged entry with per-stage hit/miss accounting.
+
+    Like :func:`get_stage`, but the lookup shows up in the stage
+    counters — the daemon's hot path uses this so cache traffic from
+    served requests is observable in ``/stats``.
+    """
+    if not cache_enabled():
+        return default
+    version = stage_version(stage)
+    return default_cache().peek(make_key(stage, *parts, version=version),
+                                default, stage=stage, version=version)
 
 
 def put_stage(stage: str, parts: tuple, value: Any) -> None:

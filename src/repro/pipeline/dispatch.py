@@ -102,6 +102,7 @@ __all__ = [
     "chunk_count",
     "dispatch",
     "parse_transport",
+    "worker_env",
 ]
 
 #: Default chunks leased per worker slot: enough granularity that a slow
@@ -260,8 +261,12 @@ class _PopenHandle(WorkerHandle):
                 pass
 
 
-def _worker_env() -> dict[str, str]:
-    """The spawned worker's environment: ours, plus ``repro`` importable."""
+def worker_env() -> dict[str, str]:
+    """A spawned worker's environment: ours, plus ``repro`` importable.
+
+    Shared by the local transport, the serve benchmark, and tests that
+    launch ``python -m repro worker`` subprocesses.
+    """
     import repro
 
     src = str(Path(repro.__file__).resolve().parent.parent)
@@ -270,6 +275,9 @@ def _worker_env() -> dict[str, str]:
     if src not in existing.split(os.pathsep):
         env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
     return env
+
+
+_worker_env = worker_env  # back-compat alias
 
 
 class LocalTransport(Transport):
@@ -289,7 +297,7 @@ class LocalTransport(Transport):
         return [sys.executable, "-m", "repro", *request.batch_args()]
 
     def launch(self, slot: int, request: ChunkRequest) -> WorkerHandle:
-        return _PopenHandle(self.argv(request), _worker_env())
+        return _PopenHandle(self.argv(request), worker_env())
 
 
 class SshTransport(Transport):

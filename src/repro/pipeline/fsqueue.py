@@ -36,6 +36,14 @@ dropped.
 Tasks carry the enqueuer's compiler hash; a worker running a different
 checkout leaves them in the queue (with a note) instead of burning a
 lease to produce a manifest the dispatcher must reject.
+
+Besides sweep chunks, the queue carries single **compile-request** tasks
+(``req-<id>.json``) — the ``repro serve`` daemon's miss path. A request
+task wraps one canonical :class:`repro.service.api.CompileRequest` dict;
+a worker runs it through :func:`repro.service.api.execute` and writes
+the ``CompileResult`` dict back as a result file. The claim, heartbeat,
+lease-expiry, and compiler-gating protocol is identical to chunks — the
+two task kinds share one queue and one worker pool.
 """
 
 from __future__ import annotations
@@ -56,6 +64,8 @@ from repro.pipeline.shard import ShardSpec, run_shard
 __all__ = [
     "QueueError",
     "QueueTransport",
+    "REQUEST_FORMAT",
+    "REQUEST_RESULT_FORMAT",
     "worker_loop",
 ]
 
@@ -66,6 +76,11 @@ TASK_FORMAT = "repro-queue-task"
 #: opposed to a shard manifest with per-job failures); the dispatcher
 #: surfaces its ``error`` text against the chunk's retry bound.
 ERROR_FORMAT = "repro-queue-error"
+
+#: Task/result schema markers for single compile-request tasks (the
+#: ``repro serve`` miss path).
+REQUEST_FORMAT = "repro-queue-request"
+REQUEST_RESULT_FORMAT = "repro-queue-request-result"
 
 #: Default seconds between heartbeat touches of a claimed task file.
 #: Each task carries its dispatch's lease timeout, and the worker beats
@@ -165,11 +180,12 @@ class QueueTransport:
         """
         for directory in (self.queue_dir, self.claimed_dir, self.results_dir):
             directory.mkdir(parents=True, exist_ok=True)
-            for path in directory.glob("chunk-*"):
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
+            for pattern in ("chunk-*", "req-*"):
+                for path in directory.glob(pattern):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
         try:
             self.stop_path.unlink()
         except OSError:
@@ -213,8 +229,8 @@ class QueueTransport:
                 continue  # partially-renamed or foreign file; skip
         return out
 
-    def expired_leases(self, lease_timeout: float) -> list[int]:
-        """Chunks whose claimed file went silent past the lease, revoked.
+    def _expired_claims(self, prefix: str, lease_timeout: float) -> list[str]:
+        """Claim file names under ``prefix`` silent past the lease, revoked.
 
         A claim is "silent" when its mtime has not *changed* for
         ``lease_timeout`` on the dispatcher's own monotonic clock,
@@ -224,13 +240,12 @@ class QueueTransport:
         nor keep a dead one alive.
 
         Deleting the claimed file *is* the revocation: the worker's next
-        heartbeat fails, it cancels its remaining jobs and discards the
-        manifest. Returns each revoked chunk's index (deduplicated).
+        heartbeat fails, it cancels the task and discards its result.
         """
         now = time.monotonic()
         revoked = []
         live: set[str] = set()
-        for path in self.claimed_dir.glob("chunk-*"):
+        for path in self.claimed_dir.glob(prefix + "*"):
             try:
                 mtime = path.stat().st_mtime
             except OSError:
@@ -243,20 +258,81 @@ class QueueTransport:
             if now - seen[1] <= lease_timeout:
                 continue
             try:
-                index = int(path.name.split("-")[1])
-            except (ValueError, IndexError):
-                continue
-            try:
                 path.unlink()
             except OSError:
                 continue  # finished (or another scan revoked it) first
             live.discard(path.name)
-            revoked.append(index)
+            revoked.append(path.name)
         # Forget claims that no longer exist so the watch map cannot
-        # grow without bound across a long multi-artefact sweep.
+        # grow without bound across a long multi-artefact sweep. Each
+        # prefix prunes only its own entries — the chunk scan must not
+        # drop the request scan's watches, and vice versa.
         for name in list(self._lease_watch):
-            if name not in live:
+            if name.startswith(prefix) and name not in live:
                 del self._lease_watch[name]
+        return revoked
+
+    def expired_leases(self, lease_timeout: float) -> list[int]:
+        """Chunk indexes whose claims went silent past the lease, revoked."""
+        revoked = []
+        for name in self._expired_claims("chunk-", lease_timeout):
+            try:
+                revoked.append(int(name.split("-")[1]))
+            except (ValueError, IndexError):
+                continue
+        return sorted(set(revoked))
+
+    # -- compile-request tasks (the ``repro serve`` miss path) --------------
+
+    def _request_name(self, rid: str) -> str:
+        if not rid or not rid.replace("-", "").replace("_", "").isalnum():
+            raise QueueError(f"request id {rid!r} is not filename-safe")
+        return f"req-{rid}.json"
+
+    def enqueue_request(self, rid: str, payload: dict) -> None:
+        """Publish one compile-request task for any attached worker."""
+        task = {"format": REQUEST_FORMAT, "id": rid,
+                "compiler": compiler_version(), **payload}
+        _atomic_write(self.queue_dir / self._request_name(rid),
+                      json.dumps(task, indent=2) + "\n")
+
+    def withdraw_request(self, rid: str) -> None:
+        """Remove a request's pending/claimed files (answered or lost)."""
+        name = self._request_name(rid)
+        for path in [self.queue_dir / name,
+                     *self.claimed_dir.glob(f"{name}.*")]:
+            try:
+                path.unlink()
+            except OSError:
+                pass  # a worker claimed/finished it concurrently
+
+    def collect_requests(self) -> list[tuple[str, dict, Path]]:
+        """New request results as ``(request id, payload, path)``.
+
+        The payload is the worker's ``{"ok": True, "result": ...}`` or
+        ``{"ok": False, "error": ...}`` dict; the caller unlinks the
+        path as it consumes each entry.
+        """
+        out = []
+        for path in sorted(self.results_dir.glob("req-*.json")):
+            try:
+                data = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue  # partially-renamed or foreign file; skip
+            if (not isinstance(data, dict)
+                    or data.get("format") != REQUEST_RESULT_FORMAT
+                    or not data.get("id")):
+                continue
+            out.append((str(data["id"]), data, path))
+        return out
+
+    def expired_requests(self, lease_timeout: float) -> list[str]:
+        """Request ids whose claims went silent past the lease, revoked."""
+        revoked = []
+        for name in self._expired_claims("req-", lease_timeout):
+            head, sep, _wid = name.partition(".json.")
+            if sep and head.startswith("req-"):
+                revoked.append(head[len("req-"):])
         return sorted(set(revoked))
 
     def pending_counts(self) -> tuple[int, int]:
@@ -272,11 +348,12 @@ class QueueTransport:
         artefact; only :meth:`shutdown` releases the workers.
         """
         for directory in (self.queue_dir, self.claimed_dir):
-            for path in directory.glob("chunk-*"):
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
+            for pattern in ("chunk-*", "req-*"):
+                for path in directory.glob(pattern):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
 
     def shutdown(self) -> None:
         """Tell attached workers the sweep is over; drop leftover tasks."""
@@ -294,10 +371,25 @@ class QueueTransport:
 
 def _parse_task(text: str) -> dict:
     data = json.loads(text)
-    if not isinstance(data, dict) or data.get("format") != TASK_FORMAT:
+    if not isinstance(data, dict):
+        raise QueueError("not a repro queue task file")
+    fmt = data.get("format")
+    if fmt == REQUEST_FORMAT:
+        if not data.get("id") or not isinstance(data.get("request"), dict):
+            raise QueueError("malformed repro queue request task")
+        return {
+            "kind": "request",
+            "id": str(data["id"]),
+            "compiler": data["compiler"],
+            "request": data["request"],
+            "use_cache": data.get("use_cache"),
+            "lease_timeout": data.get("lease_timeout"),
+        }
+    if fmt != TASK_FORMAT:
         raise QueueError("not a repro queue task file")
     spec = ShardSpec.parse(data["shard"])
     return {
+        "kind": "shard",
         "chunk": int(data["chunk"]),
         "attempt": int(data["attempt"]),
         "compiler": data["compiler"],
@@ -309,6 +401,22 @@ def _parse_task(text: str) -> dict:
         "lease_timeout": data.get("lease_timeout"),
         "engine": data.get("engine"),
     }
+
+
+def _run_request(task: dict) -> dict:
+    """Run one compile-request task; always returns a result payload."""
+    # Lazy import: the service layer itself reaches back into the
+    # pipeline, and shard workers never need it.
+    from repro.service import api
+
+    try:
+        request = api.CompileRequest.from_dict(task["request"])
+        result = api.execute(request, use_cache=task["use_cache"])
+    except Exception as exc:
+        return {"format": REQUEST_RESULT_FORMAT, "id": task["id"],
+                "ok": False, "error": f"{type(exc).__name__}: {exc}"}
+    return {"format": REQUEST_RESULT_FORMAT, "id": task["id"],
+            "ok": True, "result": result.to_dict()}
 
 
 def worker_loop(
@@ -343,7 +451,10 @@ def worker_loop(
         claimed = None
         task = None
         try:
-            candidates = sorted(transport.queue_dir.glob("chunk-*.json"))
+            # Serve requests are latency-sensitive; claim them before
+            # sweep chunks.
+            candidates = (sorted(transport.queue_dir.glob("req-*.json"))
+                          + sorted(transport.queue_dir.glob("chunk-*.json")))
         except OSError:
             candidates = []
         for path in candidates:
@@ -408,49 +519,64 @@ def worker_loop(
 
         beat = threading.Thread(target=heartbeat, daemon=True)
         beat.start()
-        events(f"worker {wid}: chunk {task['spec']} of {task['artifact']} "
-               f"(attempt {task['attempt']})")
-        try:
-            manifest = run_shard(
-                task["artifact"], task["scale"], task["spec"],
-                jobs=task["jobs"] if jobs is None else jobs,
-                use_cache=task["use_cache"],
-                should_stop=revoked.is_set,
-                engine=task["engine"],
-            )
-        except Exception as exc:
-            # run_shard isolates job failures; reaching here means the
-            # task itself was bad (e.g. stale positions for this job
-            # list). Surface it as a result the dispatcher can count
-            # against the chunk's retry bound.
-            manifest = None
-            error = f"{type(exc).__name__}: {exc}"
-        finally:
-            done.set()
-            beat.join(timeout=HEARTBEAT_INTERVAL * 2)
+        if task["kind"] == "request":
+            label = f"request {task['id']}"
+            events(f"worker {wid}: {label} "
+                   f"({task['request'].get('action', 'evaluate')} "
+                   f"{task['request'].get('kernel')})")
+            try:
+                result_text = json.dumps(_run_request(task), indent=2) + "\n"
+            finally:
+                done.set()
+                beat.join(timeout=HEARTBEAT_INTERVAL * 2)
+            result_path = (transport.results_dir /
+                           f"req-{task['id']}.{wid}.json")
+        else:
+            label = f"chunk {task['chunk']}"
+            events(f"worker {wid}: chunk {task['spec']} of "
+                   f"{task['artifact']} (attempt {task['attempt']})")
+            try:
+                manifest = run_shard(
+                    task["artifact"], task["scale"], task["spec"],
+                    jobs=task["jobs"] if jobs is None else jobs,
+                    use_cache=task["use_cache"],
+                    should_stop=revoked.is_set,
+                    engine=task["engine"],
+                )
+            except Exception as exc:
+                # run_shard isolates job failures; reaching here means
+                # the task itself was bad (e.g. stale positions for this
+                # job list). Surface it as a result the dispatcher can
+                # count against the chunk's retry bound.
+                manifest = None
+                error = f"{type(exc).__name__}: {exc}"
+            finally:
+                done.set()
+                beat.join(timeout=HEARTBEAT_INTERVAL * 2)
+            if manifest is not None:
+                result_text = manifest.to_json()
+            else:
+                result_text = json.dumps(
+                    {"format": ERROR_FORMAT, "chunk": task["chunk"],
+                     "error": error}) + "\n"
+            result_path = (transport.results_dir /
+                           f"chunk-{task['chunk']:04d}-a{task['attempt']}"
+                           f".{wid}.json")
 
         if revoked.is_set():
-            events(f"worker {wid}: lease on chunk {task['chunk']} revoked; "
-                   f"discarding manifest")
+            events(f"worker {wid}: lease on {label} revoked; "
+                   f"discarding result")
             continue
-        result_path = (transport.results_dir /
-                       f"chunk-{task['chunk']:04d}-a{task['attempt']}"
-                       f".{wid}.json")
         try:
-            if manifest is not None:
-                _atomic_write(result_path, manifest.to_json())
-            else:
-                _atomic_write(result_path, json.dumps(
-                    {"format": ERROR_FORMAT, "chunk": task["chunk"],
-                     "error": error}) + "\n")
+            _atomic_write(result_path, result_text)
         except OSError as exc:
             # Result undeliverable (full/read-only shared mount): leave
             # the claim in place. Its heartbeat has stopped, so the
-            # lease expires and the dispatcher re-enqueues the chunk —
-            # releasing the claim here would strand the chunk with no
-            # task, no claim, and no result, hanging the dispatch.
-            events(f"worker {wid}: cannot write result for chunk "
-                   f"{task['chunk']} ({exc}); leaving the claim to expire")
+            # lease expires and the dispatcher re-enqueues the task —
+            # releasing the claim here would strand it with no task, no
+            # claim, and no result, hanging the dispatch.
+            events(f"worker {wid}: cannot write result for {label} "
+                   f"({exc}); leaving the claim to expire")
             continue
         try:
             claimed.unlink()

@@ -193,7 +193,7 @@ def encode_result(artifact: str, value: Any) -> Any:
 def decode_result(artifact: str, payload: Any) -> Any:
     """Invert :func:`encode_result` back into the harness's result type."""
     if artifact == "table6":
-        from repro.eval.harness import PlatformTimes
+        from repro.service.api import PlatformTimes
 
         return PlatformTimes(payload["kernel"], payload["dataset"],
                              dict(payload["seconds"]))

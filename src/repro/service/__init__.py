@@ -1,0 +1,41 @@
+"""Compilation-as-a-service: the typed request API and the daemon.
+
+* :mod:`repro.service.api` — :class:`CompileRequest` /
+  :class:`CompileResult` and the verbs every caller (CLI, batch,
+  dispatch, serve) constructs work through.
+* :mod:`repro.service.server` — the ``repro serve`` asyncio HTTP/JSON
+  daemon (staged-cache hot path, request coalescing, admission control,
+  graceful drain).
+* :mod:`repro.service.stats` — the shared cache-stats formatter behind
+  ``/stats`` and ``repro cache --json``.
+"""
+
+from repro.service.api import (
+    ACTIONS,
+    CompileRequest,
+    CompileResult,
+    EngineMismatchError,
+    PlatformTimes,
+    build,
+    cached,
+    compile,
+    evaluate,
+    exec_check,
+    execute,
+)
+from repro.service.stats import cache_stats_payload
+
+__all__ = [
+    "ACTIONS",
+    "CompileRequest",
+    "CompileResult",
+    "EngineMismatchError",
+    "PlatformTimes",
+    "build",
+    "cache_stats_payload",
+    "cached",
+    "compile",
+    "evaluate",
+    "exec_check",
+    "execute",
+]

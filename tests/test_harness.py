@@ -2,9 +2,8 @@
 
 import pytest
 
+from repro.api import CompileRequest, build, evaluate
 from repro.eval.harness import (
-    build_kernel,
-    evaluate,
     figure12,
     figure13,
     format_figure12,
@@ -21,12 +20,14 @@ TINY = 0.02
 
 
 def test_build_kernel_compiles():
-    kernel = build_kernel("SpMV", "bcsstk30", TINY)
+    kernel = build(CompileRequest(kernel="SpMV", dataset="bcsstk30",
+                                  scale=TINY))
     assert kernel.spatial_loc > 10
 
 
 def test_evaluate_platforms_present():
-    times = evaluate("SpMV", "bcsstk30", TINY)
+    times = evaluate(CompileRequest(kernel="SpMV", dataset="bcsstk30",
+                                    scale=TINY)).platform_times()
     assert {"Capstan (Ideal)", "Capstan (HBM2E)", "Capstan (DDR4)",
             "V100 GPU", "128-Thread CPU",
             "Capstan (HBM2E, handwritten)",
@@ -36,7 +37,8 @@ def test_evaluate_platforms_present():
 
 
 def test_evaluate_non_spmv_has_no_handwritten_rows():
-    times = evaluate("Plus2", "random3-1pct", 0.2)
+    times = evaluate(CompileRequest(kernel="Plus2", dataset="random3-1pct",
+                                    scale=0.2)).platform_times()
     assert "Plasticine (HBM2E, handwritten)" not in times.seconds
 
 

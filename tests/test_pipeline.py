@@ -288,12 +288,14 @@ class TestStagedCache:
         # The acceptance criterion: warm the dataset stage, then force a
         # --no-cache evaluation; the dataset stage must hit while the
         # compile-side stages recompute (no hits recorded for them).
-        from repro.eval.harness import evaluate
+        from repro.api import CompileRequest, evaluate
 
-        warm = evaluate("SpMV", "bcsstk30", TINY)
+        request = CompileRequest(kernel="SpMV", dataset="bcsstk30",
+                                 scale=TINY)
+        warm = evaluate(request).platform_times()
         stats = fresh_cache.stats
         hits_before = dict(stats.stage_hits)
-        cold = evaluate("SpMV", "bcsstk30", TINY, use_cache=False)
+        cold = evaluate(request, use_cache=False).platform_times()
         assert cold.seconds == warm.seconds
         assert (stats.stage_hits.get("dataset", 0)
                 == hits_before.get("dataset", 0) + 1)
@@ -305,10 +307,11 @@ class TestStagedCache:
     def test_stages_shared_across_artifacts(self, fresh_cache):
         # Table 5's resource estimates reuse the entry the Table 6
         # simulation wrote for the same (kernel, dataset, scale) cell.
-        from repro.eval.harness import evaluate, first_dataset
+        from repro.api import CompileRequest, evaluate, first_dataset
         from repro.pipeline.batch import table5_cell
 
-        evaluate("SpMV", first_dataset("SpMV"), TINY)
+        evaluate(CompileRequest(kernel="SpMV",
+                                dataset=first_dataset("SpMV"), scale=TINY))
         misses_before = fresh_cache.stats.stage_misses.get("resources", 0)
         table5_cell("SpMV", TINY)
         assert (fresh_cache.stats.stage_misses.get("resources", 0)
@@ -426,26 +429,30 @@ class TestBatch:
 
 class TestEvaluateCache:
     def test_evaluate_memoizes(self, fresh_cache):
-        from repro.eval.harness import evaluate
+        from repro.api import CompileRequest, evaluate
 
-        first = evaluate("SpMV", "bcsstk30", TINY)
+        request = CompileRequest(kernel="SpMV", dataset="bcsstk30",
+                                 scale=TINY)
+        first = evaluate(request).platform_times()
         misses = fresh_cache.stats.misses
-        second = evaluate("SpMV", "bcsstk30", TINY)
+        second = evaluate(request).platform_times()
         assert second.seconds == first.seconds
         assert fresh_cache.stats.misses == misses  # pure hit
 
     def test_platform_filter(self, fresh_cache):
-        from repro.eval.harness import evaluate
+        from repro.api import CompileRequest, evaluate
 
-        times = evaluate("SpMV", "bcsstk30", TINY,
-                         platforms=("Capstan (HBM2E)", "V100 GPU"))
+        times = evaluate(CompileRequest(
+            kernel="SpMV", dataset="bcsstk30", scale=TINY,
+            platforms=("Capstan (HBM2E)", "V100 GPU"))).platform_times()
         assert set(times.seconds) == {"Capstan (HBM2E)", "V100 GPU"}
 
     def test_unknown_platform_rejected(self, fresh_cache):
-        from repro.eval.harness import evaluate
+        from repro.api import CompileRequest, evaluate
 
         with pytest.raises(ValueError, match="unknown platform"):
-            evaluate("SpMV", "bcsstk30", TINY, platforms=("TPU v5",))
+            evaluate(CompileRequest(kernel="SpMV", dataset="bcsstk30",
+                                    scale=TINY, platforms=("TPU v5",)))
 
 
 class TestCli:
