@@ -67,6 +67,29 @@ def _stats(port: int) -> dict:
         conn.close()
 
 
+def _metrics_text(port: int) -> str:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request("GET", "/metrics")
+        resp = conn.getresponse()
+        assert resp.status == 200
+        assert resp.getheader("Content-Type", "").startswith("text/plain")
+        return resp.read().decode("utf-8")
+    finally:
+        conn.close()
+
+
+def _parse_prometheus(text: str) -> dict[str, float]:
+    """Samples by full series name; raises on unparseable lines."""
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        series, _, value = line.rpartition(" ")
+        samples[series] = float(value)  # ValueError → malformed exposition
+    return samples
+
+
 def _latency_summary(seconds: list[float]) -> dict[str, float]:
     ordered = sorted(seconds)
     return {
@@ -170,6 +193,20 @@ def run_bench(scale: float = SMOKE_SCALE, clients: int = DEFAULT_CLIENTS,
             "clients": float(clients),
         }
 
+        # Prometheus scrape while the daemon is still hot.
+        exposition = _metrics_text(svc.port)
+        samples = _parse_prometheus(exposition)
+        metrics["prometheus"] = {
+            "series": float(len(samples)),
+            "type_lines": float(sum(1 for line in exposition.splitlines()
+                                    if line.startswith("# TYPE"))),
+            "requests_total": samples.get("repro_serve_requests_total", 0.0),
+            "latency_observations": samples.get("repro_request_seconds_count",
+                                                0.0),
+            "coalesced_total": samples.get("repro_serve_coalesced_total",
+                                           0.0),
+        }
+
     for proc in workers:  # the drain's stop sentinel releases them
         proc.wait(timeout=60)
 
@@ -201,6 +238,11 @@ def run_bench(scale: float = SMOKE_SCALE, clients: int = DEFAULT_CLIENTS,
             f"{metrics['coalesce']['computed']:.0f} times, expected 1")
         assert metrics["coalesce"]["coalesced"] > 0, "nothing coalesced"
         assert metrics["warm"]["byte_mismatches"] == 0.0
+        prom = metrics["prometheus"]
+        assert prom["type_lines"] > 0, "no # TYPE lines in /metrics"
+        assert prom["requests_total"] > 0, "requests counter never moved"
+        assert prom["latency_observations"] > 0, "latency histogram empty"
+        assert prom["coalesced_total"] > 0, "coalesce counter never moved"
     return metrics
 
 

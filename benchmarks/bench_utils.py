@@ -8,6 +8,8 @@ CI's perf gate and the nightly sweep consume a uniform format::
       "bench": "<name>",           # BENCH_<name>.json
       "scale": 0.05,               # dataset scale the numbers were taken at
       "unix_time": 1754555555.0,
+      "provenance": { "git_sha": ..., "hostname": ...,
+                      "python_version": ..., "numpy_version": ... },
       "metrics": { "<metric>": <number> | {<sub-metric>: <number>} }
     }
 
@@ -21,6 +23,9 @@ from __future__ import annotations
 
 import json
 import os
+import platform
+import socket
+import subprocess
 import time
 from pathlib import Path
 
@@ -30,6 +35,31 @@ SCHEMA_VERSION = 1
 def bench_dir() -> Path:
     """Where BENCH_*.json files are written (``REPRO_BENCH_DIR``)."""
     return Path(os.environ.get("REPRO_BENCH_DIR", "."))
+
+
+def _git_sha() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=Path(__file__).parent,
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def provenance() -> dict:
+    """Where/when/what the numbers came from, for cross-run comparison."""
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dep today
+        numpy_version = None
+    return {
+        "git_sha": _git_sha(),
+        "hostname": socket.gethostname(),
+        "python_version": platform.python_version(),
+        "numpy_version": numpy_version,
+    }
 
 
 def write_bench_json(name: str, metrics: dict, scale: float | None = None,
@@ -45,6 +75,7 @@ def write_bench_json(name: str, metrics: dict, scale: float | None = None,
         "bench": name,
         "scale": scale,
         "unix_time": time.time(),
+        "provenance": provenance(),
         "metrics": metrics,
     }
     if extra:

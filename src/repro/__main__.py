@@ -47,6 +47,10 @@ Subcommands:
 * ``cache``    — inspect or clear the on-disk compilation cache
   (``--json`` emits the same stats payload the serve daemon exposes
   at ``/stats``).
+* ``trace``    — summarize or export the structured span traces that
+  ``--trace DIR`` (or ``REPRO_TRACE_DIR``) makes every stage of the
+  pipeline write: per-stage totals, cache hit ratios, worker
+  utilization, the critical path, and a Chrome trace-viewer export.
 """
 
 from __future__ import annotations
@@ -481,6 +485,59 @@ def _cmd_cache(args) -> int:
     return 2  # pragma: no cover - argparse restricts choices
 
 
+def _cmd_trace(args) -> int:
+    import json
+    import os
+
+    from repro.obs import TRACE_ENV
+    from repro.obs.timeline import load_trace_dir, render_summary, to_chrome
+
+    root = args.dir or os.environ.get(TRACE_ENV)
+    if not root:
+        print(f"error: no trace directory (pass one or set {TRACE_ENV})",
+              file=sys.stderr)
+        return 2
+    data = load_trace_dir(root)
+    if not data.records:
+        print(f"error: no trace records under {root}", file=sys.stderr)
+        return 1
+    if args.action == "summary":
+        print(render_summary(data))
+    elif args.action == "export":
+        if not args.chrome:
+            print("error: export needs --chrome OUT.json", file=sys.stderr)
+            return 2
+        with open(args.chrome, "w", encoding="utf-8") as fh:
+            json.dump(to_chrome(data), fh)
+        print(f"wrote {len(data.spans)} span(s), {len(data.events)} "
+              f"event(s) to {args.chrome}", file=sys.stderr)
+    problems = data.problems()
+    if problems:
+        for item in problems:
+            print(f"trace problem: {item}", file=sys.stderr)
+        if args.strict:
+            return 1
+    return 0
+
+
+def _apply_trace(args) -> None:
+    """``--trace DIR`` → the environment knob, inherited by workers."""
+    if getattr(args, "trace", None):
+        import os
+
+        from repro.obs import TRACE_ENV
+
+        os.environ[TRACE_ENV] = args.trace
+
+
+def _add_trace_flag(parser) -> None:
+    parser.add_argument("--trace", metavar="DIR", default=None,
+                        help="write structured span traces as JSONL under "
+                             "DIR (same as REPRO_TRACE_DIR; inherited by "
+                             "spawned/remote workers; inspect with "
+                             "`repro trace`)")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -697,7 +754,28 @@ def main(argv: list[str] | None = None) -> int:
                               "payload as the serve daemon's /stats "
                               "cache section")
 
+    p_trace = sub.add_parser(
+        "trace",
+        help="inspect structured span traces written under "
+             "REPRO_TRACE_DIR (or --trace DIR on the producing command)")
+    p_trace.add_argument("action", choices=["summary", "export"],
+                         help="summary: per-stage totals, cache hit "
+                              "ratios, worker utilization, critical path; "
+                              "export: Chrome trace-viewer JSON")
+    p_trace.add_argument("dir", nargs="?", default=None,
+                         help="trace directory (default: $REPRO_TRACE_DIR)")
+    p_trace.add_argument("--chrome", metavar="OUT.json", default=None,
+                         help="export target (open in chrome://tracing or "
+                              "https://ui.perfetto.dev)")
+    p_trace.add_argument("--strict", action="store_true",
+                         help="exit 1 on malformed lines or orphaned "
+                              "spans (expected only after worker kills)")
+
+    for p in (p_tab, p_batch, p_disp, p_work, p_serve):
+        _add_trace_flag(p)
+
     args = parser.parse_args(argv)
+    _apply_trace(args)
 
     if getattr(args, "dataset", "unset") is None:
         from repro.data import datasets_for
@@ -717,6 +795,7 @@ def main(argv: list[str] | None = None) -> int:
         "convert": _cmd_convert,
         "serve": _cmd_serve,
         "cache": _cmd_cache,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

@@ -16,6 +16,7 @@ import os
 import numpy as np
 
 from repro.core.lowering import Lowerer
+from repro.obs import trace as _trace
 from repro.core.memory_analysis import KernelAnalysis, MemoryPlan
 from repro.core.runner import run_program
 from repro.schedule.stmt import IndexStmt
@@ -60,7 +61,8 @@ class CompiledKernel:
     @functools.cached_property
     def source(self) -> str:
         """Generated Spatial source text (Figure 11 style)."""
-        return codegen.generate(self.program)
+        with _trace.span("codegen", kernel=self.name):
+            return codegen.generate(self.program)
 
     @property
     def spatial_loc(self) -> int:
@@ -102,17 +104,20 @@ class CompiledKernel:
         """
         engine = default_engine() if engine is None else engine
         if engine == "interp":
-            return self.run_dense()
+            with _trace.span("interp", kernel=self.name):
+                return self.run_dense()
         out_shape = self.analysis.output.shape
         if engine == "cpu":
             from repro.backends.cpu_exec import CpuExecutor
 
-            result = CpuExecutor(self.stmt).run()
+            with _trace.span("exec", kernel=self.name, engine="cpu"):
+                result = CpuExecutor(self.stmt).run()
             return np.asarray(result, dtype=np.float64).reshape(out_shape)
         if engine == "numpy":
             from repro.backends.numpy_exec import NumpyExecutor
 
-            result = NumpyExecutor(self.stmt).run()
+            with _trace.span("exec", kernel=self.name, engine="numpy"):
+                result = NumpyExecutor(self.stmt).run()
             return np.asarray(result, dtype=np.float64).reshape(out_shape)
         raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
 
@@ -122,8 +127,9 @@ class CompiledKernel:
 
 def _compile(stmt: IndexStmt, name: str) -> CompiledKernel:
     """The uncached compilation pipeline (analysis → plan → lowering)."""
-    lowerer = Lowerer(stmt, name)
-    program = lowerer.lower()
+    with _trace.span("lower", kernel=name):
+        lowerer = Lowerer(stmt, name)
+        program = lowerer.lower()
     return CompiledKernel(
         name=name,
         stmt=stmt,

@@ -1,0 +1,302 @@
+"""Merge per-process trace JSONL files into one timeline.
+
+The tracer (:mod:`repro.obs.trace`) writes one append-only
+``trace-<host>-<pid>.jsonl`` per process.  This module is the read
+side, behind ``repro trace``:
+
+* :func:`load_trace_dir` — parse every trace file in a directory,
+  tolerating the crash artefacts the format promises to survive (a
+  truncated trailing line from a killed process) while still flagging
+  real corruption (malformed *interior* lines) and orphaned spans
+  (a ``parent`` id whose record never landed — a process died before
+  the enclosing span could be written);
+* :func:`render_summary` — the ``repro trace summary`` table:
+  per-span-name totals, cache hit ratios from the ``stage:*`` spans,
+  per-process worker utilization, and the critical path through the
+  longest top-level span;
+* :func:`to_chrome` — Chrome ``chrome://tracing`` / Perfetto JSON with
+  one track per process thread (workers are separate processes, so a
+  sweep renders one lane per worker; serve request spans carry their
+  own ``track``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+__all__ = [
+    "TraceData",
+    "load_trace_dir",
+    "render_summary",
+    "to_chrome",
+]
+
+
+class TraceData:
+    """Parsed records plus the problems found while parsing them."""
+
+    def __init__(self, records: list[dict[str, Any]],
+                 malformed: list[tuple[str, int, bool]],
+                 files: list[str]) -> None:
+        self.records = records
+        #: ``(file, lineno, is_trailing_line)`` per unparseable line.
+        self.malformed = malformed
+        self.files = files
+        self.spans = [r for r in records if r.get("k") == "span"]
+        self.events = [r for r in records if r.get("k") == "event"]
+        known = {r.get("id") for r in records if r.get("id")}
+        self.orphans = [r for r in records
+                        if r.get("parent") and r["parent"] not in known]
+
+    def problems(self) -> list[str]:
+        """Hard problems: corrupt interior lines and orphaned spans.
+
+        A truncated *trailing* line is the documented crash artefact of
+        the append-only format and is not reported here.
+        """
+        out = [f"{name}:{lineno}: unparseable trace line"
+               for name, lineno, trailing in self.malformed if not trailing]
+        out.extend(
+            f"{r.get('proc', '?')}: {r.get('k', '?')} {r.get('name', '?')!r} "
+            f"(id {r.get('id')}) references missing parent {r['parent']}"
+            for r in self.orphans)
+        return out
+
+    def truncated_tails(self) -> int:
+        return sum(1 for _n, _l, trailing in self.malformed if trailing)
+
+
+def _parse_file(path: Path, records: list[dict[str, Any]],
+                malformed: list[tuple[str, int, bool]]) -> None:
+    text = path.read_text(encoding="utf-8", errors="replace")
+    lines = text.split("\n")
+    if lines and lines[-1] == "":  # complete final newline
+        lines.pop()
+    last = len(lines) - 1
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            malformed.append((path.name, i + 1, i == last))
+            continue
+        if not isinstance(record, dict) or "k" not in record \
+                or "name" not in record or "ts" not in record:
+            malformed.append((path.name, i + 1, i == last))
+            continue
+        records.append(record)
+
+
+def load_trace_dir(root: Path | str) -> TraceData:
+    """Parse every ``trace-*.jsonl`` under ``root`` into one timeline."""
+    root = Path(root)
+    records: list[dict[str, Any]] = []
+    malformed: list[tuple[str, int, bool]] = []
+    files = sorted(root.glob("trace-*.jsonl"))
+    for path in files:
+        _parse_file(path, records, malformed)
+    records.sort(key=lambda r: (r.get("ts", 0.0), str(r.get("id", ""))))
+    return TraceData(records, malformed, [p.name for p in files])
+
+
+# ---------------------------------------------------------------------------
+# Summary rendering
+# ---------------------------------------------------------------------------
+
+
+def _union_seconds(intervals: Iterable[tuple[float, float]]) -> float:
+    """Total covered time of possibly-overlapping ``(start, end)`` spans."""
+    merged = 0.0
+    current_start = current_end = None
+    for start, end in sorted(intervals):
+        if current_end is None or start > current_end:
+            if current_end is not None:
+                merged += current_end - current_start
+            current_start, current_end = start, end
+        else:
+            current_end = max(current_end, end)
+    if current_end is not None:
+        merged += current_end - current_start
+    return merged
+
+
+def _stage_table(spans: list[dict[str, Any]]) -> list[str]:
+    by_name: dict[str, list[float]] = {}
+    for rec in spans:
+        by_name.setdefault(rec["name"], []).append(float(rec.get("dur", 0.0)))
+    lines = [f"{'span':<24} {'count':>6} {'total_s':>9} {'mean_ms':>9} "
+             f"{'max_ms':>9}"]
+    for name in sorted(by_name, key=lambda n: -sum(by_name[n])):
+        durs = by_name[name]
+        total = sum(durs)
+        lines.append(f"{name:<24} {len(durs):>6} {total:>9.3f} "
+                     f"{1e3 * total / len(durs):>9.2f} "
+                     f"{1e3 * max(durs):>9.2f}")
+    return lines
+
+
+def _cache_table(spans: list[dict[str, Any]]) -> list[str]:
+    stages: dict[str, list[bool]] = {}
+    for rec in spans:
+        name = rec["name"]
+        if name.startswith("stage:") and "hit" in rec.get("attrs", {}):
+            stages.setdefault(name[len("stage:"):], []).append(
+                bool(rec["attrs"]["hit"]))
+    if not stages:
+        return ["(no cache-staged spans recorded)"]
+    lines = [f"{'stage':<14} {'lookups':>8} {'hits':>6} {'ratio':>7}"]
+    all_hits = all_total = 0
+    for stage in sorted(stages):
+        hits, total = sum(stages[stage]), len(stages[stage])
+        all_hits += hits
+        all_total += total
+        lines.append(f"{stage:<14} {total:>8} {hits:>6} {hits / total:>7.1%}")
+    lines.append(f"{'overall':<14} {all_total:>8} {all_hits:>6} "
+                 f"{all_hits / all_total:>7.1%}")
+    return lines
+
+
+def _utilization_table(spans: list[dict[str, Any]]) -> list[str]:
+    """Per-process busy ratio: union of top-level span time over the
+    process's observed window (first span start to last span end)."""
+    by_proc: dict[str, list[dict[str, Any]]] = {}
+    for rec in spans:
+        by_proc.setdefault(rec.get("proc", "?"), []).append(rec)
+    lines = [f"{'process':<32} {'spans':>6} {'busy_s':>8} {'window_s':>9} "
+             f"{'util':>6}"]
+    for proc in sorted(by_proc):
+        recs = by_proc[proc]
+        starts = [float(r["ts"]) for r in recs]
+        ends = [float(r["ts"]) + float(r.get("dur", 0.0)) for r in recs]
+        window = max(max(ends) - min(starts), 1e-9)
+        top = [(float(r["ts"]), float(r["ts"]) + float(r.get("dur", 0.0)))
+               for r in recs if not r.get("parent")]
+        busy = _union_seconds(top)
+        lines.append(f"{proc:<32} {len(recs):>6} {busy:>8.3f} "
+                     f"{window:>9.3f} {busy / window:>6.1%}")
+    return lines
+
+
+def _critical_path(spans: list[dict[str, Any]]) -> list[str]:
+    """The max-duration child chain under the longest top-level span."""
+    if not spans:
+        return ["(no spans)"]
+    children: dict[str, list[dict[str, Any]]] = {}
+    for rec in spans:
+        parent = rec.get("parent")
+        if parent:
+            children.setdefault(parent, []).append(rec)
+    root = max((r for r in spans if not r.get("parent")),
+               key=lambda r: float(r.get("dur", 0.0)), default=None)
+    if root is None:  # every span is a crash orphan
+        root = max(spans, key=lambda r: float(r.get("dur", 0.0)))
+    lines = []
+    node, depth = root, 0
+    while node is not None:
+        label = node["name"]
+        attrs = node.get("attrs", {})
+        detail = attrs.get("kernel") or attrs.get("task") \
+            or attrs.get("artifact") or attrs.get("key") or ""
+        suffix = f" [{detail}]" if detail else ""
+        lines.append(f"{'  ' * depth}{label}{suffix}  "
+                     f"{1e3 * float(node.get('dur', 0.0)):.2f}ms")
+        kids = children.get(node.get("id"), [])
+        node = max(kids, key=lambda r: float(r.get("dur", 0.0))) \
+            if kids else None
+        depth += 1
+    return lines
+
+
+def render_summary(data: TraceData) -> str:
+    """The ``repro trace summary`` report."""
+    if not data.records:
+        return (f"no trace records found "
+                f"({len(data.files)} file(s) scanned)")
+    procs = {r.get("proc", "?") for r in data.records}
+    head = (f"{len(data.records)} record(s) ({len(data.spans)} span(s), "
+            f"{len(data.events)} event(s)) from {len(data.files)} file(s) / "
+            f"{len(procs)} process(es)")
+    notes = []
+    if data.truncated_tails():
+        notes.append(f"{data.truncated_tails()} truncated trailing line(s) "
+                     f"(killed process; tolerated)")
+    if data.orphans:
+        notes.append(f"{len(data.orphans)} orphaned record(s) "
+                     f"(parent span never landed)")
+    interior = [m for m in data.malformed if not m[2]]
+    if interior:
+        notes.append(f"{len(interior)} malformed interior line(s)")
+    sections = [head]
+    if notes:
+        sections.append("; ".join(notes))
+    sections.append("\n== per-span totals ==")
+    sections.extend(_stage_table(data.spans) if data.spans
+                    else ["(no spans)"])
+    sections.append("\n== cache hit ratio (staged lookups) ==")
+    sections.extend(_cache_table(data.spans))
+    sections.append("\n== worker utilization ==")
+    sections.extend(_utilization_table(data.spans) if data.spans
+                    else ["(no spans)"])
+    sections.append("\n== critical path ==")
+    sections.extend(_critical_path(data.spans))
+    return "\n".join(sections)
+
+
+# ---------------------------------------------------------------------------
+# Chrome tracing export
+# ---------------------------------------------------------------------------
+
+
+def to_chrome(data: TraceData) -> dict[str, Any]:
+    """Chrome trace-event JSON (``chrome://tracing`` / Perfetto).
+
+    Processes map to Chrome pids; a span's lane is its explicit
+    ``track`` if it carries one (serve requests), its thread otherwise.
+    """
+    if not data.records:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+    t0 = min(float(r["ts"]) for r in data.records)
+    pids: dict[str, int] = {}
+    tids: dict[tuple[str, str], int] = {}
+    events: list[dict[str, Any]] = []
+
+    def pid_for(proc: str) -> int:
+        if proc not in pids:
+            pids[proc] = len(pids) + 1
+            events.append({"name": "process_name", "ph": "M",
+                           "pid": pids[proc], "tid": 0,
+                           "args": {"name": proc}})
+        return pids[proc]
+
+    def tid_for(proc: str, lane: str) -> int:
+        key = (proc, lane)
+        if key not in tids:
+            tids[key] = sum(1 for p, _l in tids if p == proc) + 1
+            events.append({"name": "thread_name", "ph": "M",
+                           "pid": pid_for(proc), "tid": tids[key],
+                           "args": {"name": lane}})
+        return tids[key]
+
+    for rec in data.records:
+        proc = rec.get("proc", "?")
+        lane = str(rec.get("track") or f"thread-{rec.get('tid', 0)}")
+        entry = {
+            "name": rec.get("name", "?"),
+            "pid": pid_for(proc),
+            "tid": tid_for(proc, lane),
+            "ts": (float(rec["ts"]) - t0) * 1e6,
+            "args": {**rec.get("attrs", {}), "id": rec.get("id"),
+                     "parent": rec.get("parent")},
+        }
+        if rec.get("k") == "span":
+            entry["ph"] = "X"
+            entry["dur"] = float(rec.get("dur", 0.0)) * 1e6
+        else:
+            entry["ph"] = "i"
+            entry["s"] = "t"
+        events.append(entry)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -53,6 +53,8 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Any
 
+from repro.obs import trace as _trace
+
 __all__ = [
     "CacheStats",
     "CompilationCache",
@@ -68,7 +70,9 @@ __all__ = [
     "make_key",
     "memoize",
     "memoize_stage",
+    "note_stage_compute",
     "peek_stage",
+    "stage_computes",
     "put_stage",
     "stage_version",
     "subsystem_version",
@@ -637,6 +641,25 @@ def put_stage(stage: str, parts: tuple, value: Any) -> None:
                         version=version)
 
 
+_stage_compute_local = threading.local()
+
+
+def stage_computes() -> int:
+    """How many stage compute callbacks have run on this thread.
+
+    The executor snapshots this around ``job.run()`` to tell a job that
+    actually compiled something from one answered wholly by the cache
+    (the ``jobs_computed`` / ``jobs_cached`` split in dispatch summaries).
+    Valid because each job's stages run entirely on the job's own thread.
+    """
+    return getattr(_stage_compute_local, "count", 0)
+
+
+def note_stage_compute() -> None:
+    _stage_compute_local.count = getattr(
+        _stage_compute_local, "count", 0) + 1
+
+
 def memoize_stage(stage: str, parts: tuple, compute,
                   use_cache: bool | None = None):
     """Memoize one pipeline **stage** under its own content key.
@@ -652,12 +675,26 @@ def memoize_stage(stage: str, parts: tuple, compute,
       forced recompile reuses generated datasets while every compile-side
       stage recomputes. ``REPRO_NO_CACHE=1`` disables even exempt stages.
     """
-    if not cache_enabled():
+    computed = False
+
+    def run():
+        # The nonlocal flag distinguishes hit from miss; the thread-local
+        # counter lets the executor attribute computes to one job (each
+        # job's stages run entirely on the job's own thread).
+        nonlocal computed
+        computed = True
+        note_stage_compute()
         return compute()
-    if use_cache is False and stage not in NO_CACHE_EXEMPT_STAGES:
-        return compute()
-    version = stage_version(stage)
-    return default_cache().get_or_compute(
-        make_key(stage, *parts, version=version), compute,
-        stage=stage, version=version,
-    )
+
+    with _trace.span(f"stage:{stage}") as sp:
+        if not cache_enabled() or (
+                use_cache is False and stage not in NO_CACHE_EXEMPT_STAGES):
+            value = run()
+        else:
+            version = stage_version(stage)
+            value = default_cache().get_or_compute(
+                make_key(stage, *parts, version=version), run,
+                stage=stage, version=version,
+            )
+        sp.set(hit=not computed)
+    return value

@@ -64,6 +64,8 @@ import time
 from pathlib import Path
 from typing import Any, Callable
 
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.pipeline.batch import ARTIFACT_NAMES, artifact_jobs
 from repro.pipeline.cache import cache_enabled, cache_env_knobs, compiler_version
 from repro.pipeline.fsqueue import (
@@ -336,7 +338,8 @@ class SshTransport(Transport):
 
     def remote_command(self, request: ChunkRequest) -> str:
         python = os.environ.get("REPRO_SSH_PYTHON", "python3")
-        knobs = {"PYTHONPATH": "src", **cache_env_knobs()}
+        knobs = {"PYTHONPATH": "src", **cache_env_knobs(),
+                 **_trace.trace_env_knobs()}
         exports = " ".join(f"{k}={shlex.quote(v)}" for k, v in knobs.items())
         batch = " ".join(shlex.quote(a) for a in request.batch_args())
         return (f"cd {shlex.quote(self._remote_repo())} && "
@@ -480,6 +483,11 @@ class DispatchResult:
     steal: bool = False  #: chunks were cost-planned (not uniform fallback)
     plan: list[dict] | None = None  #: per-chunk size/estimated-cost report
     costs_recorded: int = 0  #: cost-table entries written by this dispatch
+    #: Jobs whose pipeline actually computed something this run, vs. jobs
+    #: answered entirely from the staged cache (resumed chunks' jobs all
+    #: count as cached: nothing executed for them in this dispatch).
+    jobs_computed: int = 0
+    jobs_cached: int = 0
 
     @property
     def ok(self) -> bool:
@@ -498,7 +506,9 @@ class DispatchResult:
                    if self.resumed_chunks else "")
         planned = ", cost-planned" if self.steal else ""
         return (f"dispatch {self.artifact} (scale {self.scale}) over "
-                f"{self.transport}: {jobs} job(s) in {self.chunks} "
+                f"{self.transport}: {jobs} job(s) "
+                f"({self.jobs_computed} computed, "
+                f"{self.jobs_cached} cached) in {self.chunks} "
                 f"chunk(s){planned}, {self.attempts} lease(s){resumed}, "
                 f"{self.seconds:.2f}s [{status}]")
 
@@ -742,6 +752,8 @@ def dispatch(
 
     def chunk_failed(index: int, why: str) -> None:
         last_error[index] = why
+        _trace.event("chunk.failed", chunk=index, attempt=attempts[index],
+                     why=why)
         if attempts[index] <= retries:
             events(f"chunk {specs[index]}: {why}; reassigning "
                    f"(attempt {attempts[index]} of {1 + retries})")
@@ -759,6 +771,8 @@ def dispatch(
                          if len(failed) > 1 else f"job {failed[0]} failed")
             return
         done[index] = manifest
+        _trace.event("chunk.done", chunk=index, jobs=len(manifest.jobs),
+                     attempt=attempts[index])
         if state_path is not None:
             manifest.save(_chunk_path(state_path, artifact, manifest.shard))
         if manifest.failures():
@@ -797,6 +811,8 @@ def dispatch(
                     handle = transport.launch(slot, request_for(index))
                     active[slot] = (index, handle,
                                     time.monotonic() + lease_timeout)
+                    _trace.event("lease", chunk=index, slot=slot,
+                                 attempt=attempt)
                     events(f"chunk {specs[index]} -> {transport} slot {slot} "
                            f"(attempt {attempt})")
 
@@ -809,6 +825,8 @@ def dispatch(
                             handle.kill()
                             handle.close()
                             del active[slot]
+                            _trace.event("lease.expired", chunk=index,
+                                         slot=slot)
                             chunk_failed(
                                 index,
                                 f"lease expired after {lease_timeout:g}s "
@@ -860,6 +878,7 @@ def dispatch(
                         worker_jobs, lease_timeout=lease_timeout,
                         engine=engine))
                     outstanding.add(index)
+                    _trace.event("enqueue", chunk=index, attempt=attempt)
                     events(f"chunk {specs[index]} -> {transport} "
                            f"(attempt {attempt})")
 
@@ -889,6 +908,7 @@ def dispatch(
                         continue
                     progressed = True
                     outstanding.discard(index)
+                    _trace.event("lease.expired", chunk=index)
                     chunk_failed(index,
                                  f"lease expired after {lease_timeout:g}s "
                                  f"(worker detached?)")
@@ -912,50 +932,77 @@ def dispatch(
             else:
                 transport.drain()
 
-    if isinstance(transport, QueueTransport):
-        queue_loop()
-    else:
-        pool_loop()
+    with _trace.span("dispatch", artifact=artifact, scale=scale,
+                     transport=str(transport)) as dispatch_span:
+        if isinstance(transport, QueueTransport):
+            queue_loop()
+        else:
+            pool_loop()
 
-    manifests = [done[i] for i in sorted(done)]
-    # Record observed wall times from freshly-executed chunks only:
-    # resumed manifests carry a *previous* run's times, and re-stamping
-    # them would overwrite fresher observations ("latest wins"). Fresh
-    # chunks must be recorded dispatcher-side for transports whose
-    # workers do not share this cache (ssh without a common mount).
-    fresh = [done[i] for i in sorted(done) if i not in resumed_indices]
-    costs_recorded = 0
-    if cache_enabled() and fresh:
-        costs_recorded = record_manifest_costs(fresh)
-        events(f"cost table: recorded {costs_recorded} job time(s)")
-    merged: MergedArtifact | None = None
-    merge_error: str | None = None
-    if not lost and not quarantined and len(done) == chunks:
-        try:
-            merged = merge_manifests(manifests)
-        except MergeError as exc:  # pragma: no cover - defensive fold
-            # Every manifest was validated at acceptance, so this is a
-            # should-not-happen guard; carry the reason in the result so
-            # it survives --quiet and reaches the operator.
-            merge_error = str(exc)
-            events(f"merge refused the collected manifests: {exc}")
-    return DispatchResult(
-        artifact=artifact,
-        scale=scale,
-        transport=str(transport),
-        chunks=chunks,
-        manifests=manifests,
-        merged=merged,
-        quarantined=quarantined,
-        lost_chunks=lost,
-        resumed_chunks=resumed,
-        attempts=total_attempts,
-        seconds=time.perf_counter() - start,
-        merge_error=merge_error,
-        steal=stolen,
-        plan=plan_report,
-        costs_recorded=costs_recorded,
-    )
+        manifests = [done[i] for i in sorted(done)]
+        # Record observed wall times from freshly-executed chunks only:
+        # resumed manifests carry a *previous* run's times, and re-stamping
+        # them would overwrite fresher observations ("latest wins"). Fresh
+        # chunks must be recorded dispatcher-side for transports whose
+        # workers do not share this cache (ssh without a common mount).
+        fresh = [done[i] for i in sorted(done) if i not in resumed_indices]
+        costs_recorded = 0
+        if cache_enabled() and fresh:
+            costs_recorded = record_manifest_costs(fresh)
+            events(f"cost table: recorded {costs_recorded} job time(s)")
+        merged: MergedArtifact | None = None
+        merge_error: str | None = None
+        if not lost and not quarantined and len(done) == chunks:
+            try:
+                merged = merge_manifests(manifests)
+            except MergeError as exc:  # pragma: no cover - defensive fold
+                # Every manifest was validated at acceptance, so this is a
+                # should-not-happen guard; carry the reason in the result
+                # so it survives --quiet and reaches the operator.
+                merge_error = str(exc)
+                events(f"merge refused the collected manifests: {exc}")
+        # Honest utilization numbers: a job only counts as computed when
+        # a freshly-executed chunk says its pipeline ran (manifests from
+        # pre-"computed"-field workers conservatively count as computed);
+        # everything else — cache-served jobs and whole resumed chunks —
+        # is cached work this dispatch did not spend a worker on.
+        jobs_total = sum(len(m.jobs) for m in manifests)
+        jobs_computed = sum(
+            sum(1 for e in m.jobs if e.get("computed", True))
+            for m in fresh)
+        jobs_cached = jobs_total - jobs_computed
+        jobs_counter = _metrics.counter(
+            "repro_dispatch_jobs_total",
+            "Dispatch jobs by execution kind.", ("kind",))
+        jobs_counter.inc(jobs_computed, kind="computed")
+        jobs_counter.inc(jobs_cached, kind="cached")
+        _metrics.counter("repro_dispatch_leases_total",
+                         "Chunk leases granted.").inc(total_attempts)
+        _metrics.counter("repro_dispatch_chunks_lost_total",
+                         "Chunks lost after the retry bound.").inc(len(lost))
+        dispatch_span.set(ok=merged is not None, chunks=chunks,
+                          attempts=total_attempts,
+                          jobs_computed=jobs_computed,
+                          jobs_cached=jobs_cached)
+        return DispatchResult(
+            artifact=artifact,
+            scale=scale,
+            transport=str(transport),
+            chunks=chunks,
+            manifests=manifests,
+            merged=merged,
+            quarantined=quarantined,
+            lost_chunks=lost,
+            resumed_chunks=resumed,
+            attempts=total_attempts,
+            seconds=time.perf_counter() - start,
+            merge_error=merge_error,
+            steal=stolen,
+            plan=plan_report,
+            costs_recorded=costs_recorded,
+            jobs_computed=jobs_computed,
+            jobs_cached=jobs_cached,
+        )
 
 
 def dispatch_summary_payload(result: DispatchResult) -> dict[str, Any]:
@@ -967,6 +1014,8 @@ def dispatch_summary_payload(result: DispatchResult) -> dict[str, Any]:
         "chunks": result.chunks,
         "attempts": result.attempts,
         "resumed_chunks": result.resumed_chunks,
+        "jobs_computed": result.jobs_computed,
+        "jobs_cached": result.jobs_cached,
         "ok": result.ok,
         "quarantined": result.quarantined,
         "lost_chunks": {str(k): v for k, v in result.lost_chunks.items()},

@@ -20,6 +20,9 @@ from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any
 
+from repro.obs import trace as _trace
+from repro.pipeline.cache import stage_computes
+
 __all__ = ["Job", "JobResult", "default_jobs", "run_jobs"]
 
 
@@ -55,6 +58,9 @@ class JobResult:
     value: Any = None
     error: str | None = None
     seconds: float = 0.0
+    #: Whether any pipeline stage actually *computed* (vs. every stage
+    #: answered from the cache) — the dispatch utilization split.
+    computed: bool = True
 
     def unwrap(self) -> Any:
         """The value, re-raising a summarised error for failed jobs."""
@@ -77,13 +83,18 @@ def _run_one(job: Job,
         return JobResult(job, False,
                          error=f"job {job} cancelled before it started")
     start = time.perf_counter()
-    try:
-        value = job.run()
-        return JobResult(job, True, value=value,
-                         seconds=time.perf_counter() - start)
-    except Exception:
-        return JobResult(job, False, error=traceback.format_exc(),
-                         seconds=time.perf_counter() - start)
+    computes_before = stage_computes()
+    with _trace.span("job", key=str(job)) as sp:
+        try:
+            value = job.run()
+            result = JobResult(job, True, value=value,
+                               seconds=time.perf_counter() - start,
+                               computed=stage_computes() > computes_before)
+        except Exception:
+            result = JobResult(job, False, error=traceback.format_exc(),
+                               seconds=time.perf_counter() - start)
+        sp.set(ok=result.ok, computed=result.computed)
+    return result
 
 
 def run_jobs(

@@ -58,6 +58,7 @@ import time
 from pathlib import Path
 from typing import Any, Callable
 
+from repro.obs import trace as _trace
 from repro.pipeline.cache import compiler_version
 from repro.pipeline.shard import ShardSpec, run_shard
 
@@ -492,6 +493,7 @@ def worker_loop(
                 task = None
                 continue
             claimed = target
+            _trace.event("claim", task=path.name, worker=wid)
             break
         if claimed is None or task is None:
             if transport.stop_path.exists():
@@ -525,7 +527,10 @@ def worker_loop(
                    f"({task['request'].get('action', 'evaluate')} "
                    f"{task['request'].get('kernel')})")
             try:
-                result_text = json.dumps(_run_request(task), indent=2) + "\n"
+                with _trace.span("task", kind="request", task=task["id"],
+                                 worker=wid):
+                    result_text = json.dumps(_run_request(task),
+                                             indent=2) + "\n"
             finally:
                 done.set()
                 beat.join(timeout=HEARTBEAT_INTERVAL * 2)
@@ -536,13 +541,15 @@ def worker_loop(
             events(f"worker {wid}: chunk {task['spec']} of "
                    f"{task['artifact']} (attempt {task['attempt']})")
             try:
-                manifest = run_shard(
-                    task["artifact"], task["scale"], task["spec"],
-                    jobs=task["jobs"] if jobs is None else jobs,
-                    use_cache=task["use_cache"],
-                    should_stop=revoked.is_set,
-                    engine=task["engine"],
-                )
+                with _trace.span("task", kind="chunk", task=task["chunk"],
+                                 artifact=task["artifact"], worker=wid):
+                    manifest = run_shard(
+                        task["artifact"], task["scale"], task["spec"],
+                        jobs=task["jobs"] if jobs is None else jobs,
+                        use_cache=task["use_cache"],
+                        should_stop=revoked.is_set,
+                        engine=task["engine"],
+                    )
             except Exception as exc:
                 # run_shard isolates job failures; reaching here means
                 # the task itself was bad (e.g. stale positions for this
@@ -564,6 +571,7 @@ def worker_loop(
                            f".{wid}.json")
 
         if revoked.is_set():
+            _trace.event("lease.revoked", task=label, worker=wid)
             events(f"worker {wid}: lease on {label} revoked; "
                    f"discarding result")
             continue
@@ -582,6 +590,7 @@ def worker_loop(
             claimed.unlink()
         except OSError:
             pass
+        _trace.event("result", task=label, worker=wid)
         completed += 1
         if max_chunks is not None and completed >= max_chunks:
             events(f"worker {wid} detaching: --max-chunks reached")

@@ -38,6 +38,7 @@ from repro.pipeline.batch import (
     assemble_artifact,
     format_artifact,
 )
+from repro.obs import trace as _trace
 from repro.pipeline.cache import compiler_version
 from repro.pipeline.executor import Job, JobResult, run_jobs
 
@@ -350,8 +351,11 @@ def run_shard(
     from repro.pipeline.batch import record_result_costs
 
     all_jobs = artifact_jobs(artifact, scale, use_cache, engine)
-    results = run_jobs(spec.select(all_jobs), max_workers=jobs, kind=kind,
-                       on_result=on_result, should_stop=should_stop)
+    with _trace.span("chunk", artifact=artifact, shard=str(spec)) as chunk_sp:
+        results = run_jobs(spec.select(all_jobs), max_workers=jobs, kind=kind,
+                           on_result=on_result, should_stop=should_stop)
+        chunk_sp.set(jobs=len(results),
+                     computed=sum(1 for r in results if r.computed))
     # Feed the work-stealing cost model from the worker side too: shard
     # workers sharing REPRO_CACHE_DIR warm the dispatcher's table even
     # before their manifest is collected.
@@ -362,6 +366,7 @@ def run_shard(
             "key": list(res.job.key),
             "ok": res.ok,
             "seconds": round(res.seconds, 6),
+            "computed": res.computed,
         }
         if res.ok:
             entry["value"] = encode_result(artifact, res.value)

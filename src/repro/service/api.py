@@ -37,6 +37,7 @@ import os
 from typing import Any
 
 from repro.core.compiler import ENGINES
+from repro.obs import trace as _trace
 
 __all__ = [
     "ACTIONS",
@@ -357,7 +358,8 @@ def build(request: CompileRequest, use_cache: bool | None = None):
     def compute():
         spec = KERNELS[req.kernel]
         tensors = load_dataset(req, use_cache=use_cache)
-        stmt, _out = spec.build(tensors)
+        with _trace.span("parse", kernel=req.kernel, dataset=req.dataset):
+            stmt, _out = spec.build(tensors)
         return compile_stmt(stmt, req.kernel, cache=use_cache)
 
     return memoize_stage(
@@ -422,15 +424,17 @@ def exec_check(request: CompileRequest,
         import numpy as np
 
         kernel = build(req, use_cache=use_cache)
-        expected = np.asarray(kernel.run_dense(), dtype=np.float64)
+        with _trace.span("interp", kernel=req.kernel, dataset=req.dataset):
+            expected = np.asarray(kernel.run_dense(), dtype=np.float64)
         fell_back = False
         if engine == "interp":
             got = expected
         elif engine == "numpy":
             from repro.backends.numpy_exec import NumpyExecutor
 
-            executor = NumpyExecutor(kernel.stmt)
-            got = executor.run()
+            with _trace.span("exec", kernel=req.kernel, engine="numpy"):
+                executor = NumpyExecutor(kernel.stmt)
+                got = executor.run()
             fell_back = executor.fell_back
         else:
             got = kernel.run_engine(engine)
@@ -493,11 +497,12 @@ def evaluate(request: CompileRequest,
                     f"unknown platform(s) {unknown} for {req.kernel}; "
                     f"choose from {sorted(models)}"
                 )
-        seconds = {
-            name: model()
-            for name, model in models.items()
-            if req.platforms is None or name in req.platforms
-        }
+        seconds = {}
+        for name, model in models.items():
+            if req.platforms is not None and name not in req.platforms:
+                continue
+            with _trace.span("simulate", kernel=req.kernel, platform=name):
+                seconds[name] = model()
         return CompileResult(request=req, seconds=seconds,
                              exec_summary=summary)
 

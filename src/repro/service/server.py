@@ -51,6 +51,7 @@ import threading
 import time
 from typing import Any, Callable
 
+from repro import obs
 from repro.service import api
 from repro.service.stats import cache_stats_payload
 
@@ -118,7 +119,8 @@ class ServeStats:
     """Daemon counters surfaced by ``/stats`` (event-loop-only writes)."""
 
     __slots__ = ("requests", "cache_hits", "coalesced", "computed",
-                 "rejected", "timeouts", "errors", "started")
+                 "rejected", "timeouts", "errors", "started",
+                 "responses", "status_codes")
 
     def __init__(self) -> None:
         self.requests = 0
@@ -129,6 +131,13 @@ class ServeStats:
         self.timeouts = 0
         self.errors = 0
         self.started = time.time()
+        #: Every HTTP response sent (all endpoints), total and by code.
+        self.responses = 0
+        self.status_codes: dict[int, int] = {}
+
+    def count_response(self, status: int) -> None:
+        self.responses += 1
+        self.status_codes[status] = self.status_codes.get(status, 0) + 1
 
     def as_dict(self, inflight: int, draining: bool,
                 pool: str) -> dict[str, Any]:
@@ -140,6 +149,9 @@ class ServeStats:
             "rejected": self.rejected,
             "timeouts": self.timeouts,
             "errors": self.errors,
+            "responses": self.responses,
+            "status_codes": {str(code): n for code, n
+                             in sorted(self.status_codes.items())},
             "inflight": inflight,
             "draining": draining,
             "pool": pool,
@@ -329,7 +341,15 @@ class CompileService:
         self.stats = ServeStats()
         self._events = config.on_event if config.on_event else (lambda _m: None)
         self._backend = _parse_pool(config, self._events)
+        self._requests_total = obs.counter(
+            "repro_requests_total", "HTTP responses by path and status.",
+            ("path", "status"))
+        self._request_seconds = obs.histogram(
+            "repro_request_seconds",
+            "HTTP request handling latency (seconds).")
         self._inflight: dict[str, asyncio.Future] = {}
+        #: inflight key -> the compute span id joiners reference.
+        self._inflight_spans: dict[str, str | None] = {}
         self._conn_tasks: set[asyncio.Task] = set()
         self._server: asyncio.base_events.Server | None = None
         self._drain_event: asyncio.Event | None = None
@@ -420,17 +440,24 @@ class CompileService:
             if request is None:
                 return
             method, path, headers, body = request
+            t0 = time.perf_counter()
+            content_type = "application/json"
             try:
-                status, payload = await self._route(method, path, body)
+                status, payload, content_type = await self._route(
+                    method, path, body)
             except asyncio.CancelledError:
                 raise
             except Exception as exc:  # defense: never drop the response
                 self.stats.errors += 1
                 status, payload = 500, _error_body(
                     f"{type(exc).__name__}: {exc}")
+            self.stats.count_response(status)
+            self._requests_total.inc(path=path, status=str(status))
+            self._request_seconds.observe(time.perf_counter() - t0)
             keep = (not self._draining
                     and headers.get("connection", "").lower() != "close")
-            writer.write(_render_response(status, payload, keep))
+            writer.write(_render_response(status, payload, keep,
+                                          content_type))
             await writer.drain()
             if not keep:
                 return
@@ -461,18 +488,24 @@ class CompileService:
             return None
 
     async def _route(self, method: str, path: str,
-                     body: bytes) -> tuple[int, bytes]:
+                     body: bytes) -> tuple[int, bytes, str]:
+        json_ct = "application/json"
         if path == "/healthz":
-            return 200, json.dumps({"ok": True}).encode()
+            return 200, json.dumps({"ok": True}).encode(), json_ct
         if path == "/stats":
             return 200, (json.dumps(self.stats_payload(), indent=2,
-                                    sort_keys=True)).encode()
+                                    sort_keys=True)).encode(), json_ct
+        if path == "/metrics":
+            return (200, self.metrics_text().encode(),
+                    "text/plain; version=0.0.4; charset=utf-8")
         if path in ("/compile", "/evaluate"):
             if method != "POST":
-                return 405, _error_body(f"{path} expects POST")
-            return await self._handle_work(path.lstrip("/"), body)
+                return 405, _error_body(f"{path} expects POST"), json_ct
+            status, payload = await self._handle_work(path.lstrip("/"), body)
+            return status, payload, json_ct
         return 404, _error_body(
-            f"unknown path {path!r}; try /compile, /evaluate, /stats")
+            f"unknown path {path!r}; try /compile, /evaluate, /stats, "
+            f"/metrics"), json_ct
 
     def stats_payload(self) -> dict[str, Any]:
         """The ``/stats`` body: serve counters + shared cache payload."""
@@ -481,6 +514,45 @@ class CompileService:
                                         self.pool_name),
             "cache": cache_stats_payload(),
         }
+
+    def metrics_text(self) -> str:
+        """The ``/metrics`` body: Prometheus text exposition.
+
+        Request counts and the latency histogram accumulate live in the
+        process registry; the serve/cache counters are mirrored into it
+        at scrape time so every series shares one exposition.
+        """
+        reg = obs.registry()
+        stats = self.stats
+        serve_totals = {
+            "requests": "Work requests admitted (compile/evaluate).",
+            "cache_hits": "Requests answered from the staged cache.",
+            "coalesced": "Requests that joined an in-flight compile.",
+            "computed": "Underlying jobs computed by the pool.",
+            "rejected": "Requests rejected by admission control (429).",
+            "timeouts": "Requests that hit their deadline (504).",
+            "errors": "Requests that failed (500).",
+        }
+        for field, help_text in serve_totals.items():
+            reg.counter(f"repro_serve_{field}_total",
+                        help_text).set_total(getattr(stats, field))
+        reg.gauge("repro_serve_inflight",
+                  "Underlying jobs currently running."
+                  ).set(len(self._inflight))
+        reg.gauge("repro_serve_uptime_seconds",
+                  "Seconds since the daemon started."
+                  ).set(time.time() - stats.started)
+        cache_counters = cache_stats_payload().get("counters", {})
+        stage_counter = reg.counter(
+            "repro_cache_stage_total",
+            "Staged-cache lookups by stage and outcome.",
+            ("stage", "outcome"))
+        for stage, entry in cache_counters.get("stages", {}).items():
+            stage_counter.set_total(entry.get("hits", 0),
+                                    stage=stage, outcome="hit")
+            stage_counter.set_total(entry.get("misses", 0),
+                                    stage=stage, outcome="miss")
+        return reg.render()
 
     # -- request handling ---------------------------------------------------
 
@@ -506,34 +578,52 @@ class CompileService:
             return 400, _error_body(str(exc))
 
         self.stats.requests += 1
-        hit = api.cached(request)
-        if hit is not None:
-            self.stats.cache_hits += 1
-            return 200, hit.to_json().encode()
+        # Request spans do not nest on the thread-local stack: handler
+        # coroutines interleave on the one event-loop thread, so stack
+        # discipline would attach spans to whichever request last
+        # yielded. Each span is its own top-level track instead.
+        with obs.span("request", _nest=False,
+                      _track=f"req-{self.stats.requests}",
+                      action=action, kernel=request.kernel,
+                      dataset=request.dataset) as sp:
+            hit = api.cached(request)
+            if hit is not None:
+                self.stats.cache_hits += 1
+                sp.set(outcome="hit", status=200)
+                return 200, hit.to_json().encode()
 
-        key = request.canonical_json()
-        if not self.config.coalesce:
-            key = f"{key}#{self.stats.requests}"
-        future = self._inflight.get(key)
-        if future is None:
-            if len(self._inflight) >= self.config.max_inflight:
-                self.stats.rejected += 1
-                return 429, _error_body(
-                    f"{len(self._inflight)} requests already in flight "
-                    f"(max {self.config.max_inflight}); retry shortly")
-            future = self._launch(key, request)
-        else:
-            self.stats.coalesced += 1
-        try:
-            result = await asyncio.wait_for(asyncio.shield(future), timeout)
-        except asyncio.TimeoutError:
-            self.stats.timeouts += 1
-            return 504, _error_body(
-                f"request timed out after {timeout:g}s; the job keeps "
-                f"running and a retry will hit the cache once it lands")
-        except Exception as exc:
-            return 500, _error_body(f"{type(exc).__name__}: {exc}")
-        return 200, result.to_json().encode()
+            key = request.canonical_json()
+            if not self.config.coalesce:
+                key = f"{key}#{self.stats.requests}"
+            future = self._inflight.get(key)
+            if future is None:
+                if len(self._inflight) >= self.config.max_inflight:
+                    self.stats.rejected += 1
+                    sp.set(outcome="rejected", status=429)
+                    return 429, _error_body(
+                        f"{len(self._inflight)} requests already in flight "
+                        f"(max {self.config.max_inflight}); retry shortly")
+                future = self._launch(key, request)
+                sp.set(outcome="computed")
+            else:
+                self.stats.coalesced += 1
+                sp.set(outcome="joined")
+            # N coalesced joiners all reference the one compute span.
+            sp.set(compute_span=self._inflight_spans.get(key))
+            try:
+                result = await asyncio.wait_for(asyncio.shield(future),
+                                                timeout)
+            except asyncio.TimeoutError:
+                self.stats.timeouts += 1
+                sp.set(outcome="timeout", status=504)
+                return 504, _error_body(
+                    f"request timed out after {timeout:g}s; the job keeps "
+                    f"running and a retry will hit the cache once it lands")
+            except Exception as exc:
+                sp.set(outcome="error", status=500)
+                return 500, _error_body(f"{type(exc).__name__}: {exc}")
+            sp.set(status=200)
+            return 200, result.to_json().encode()
 
     def _launch(self, key: str, request: api.CompileRequest) -> asyncio.Future:
         loop = asyncio.get_running_loop()
@@ -543,10 +633,16 @@ class CompileService:
         future.add_done_callback(
             lambda f: f.exception() if not f.cancelled() else None)
         self._inflight[key] = future
+        compute_span = obs.span("compute", _nest=False, _track="compute",
+                                kernel=request.kernel,
+                                dataset=request.dataset,
+                                action=request.action)
+        self._inflight_spans[key] = compute_span.id
 
         async def run() -> None:
             try:
-                result = await self._backend.submit(request)
+                with compute_span:
+                    result = await self._backend.submit(request)
             except asyncio.CancelledError:
                 if not future.done():
                     future.set_exception(ServeError("server shutting down"))
@@ -561,6 +657,7 @@ class CompileService:
                     future.set_result(result)
             finally:
                 self._inflight.pop(key, None)
+                self._inflight_spans.pop(key, None)
 
         loop.create_task(run())
         return future
@@ -570,10 +667,11 @@ def _error_body(message: str) -> bytes:
     return json.dumps({"error": message}, sort_keys=True).encode()
 
 
-def _render_response(status: int, body: bytes, keep_alive: bool) -> bytes:
+def _render_response(status: int, body: bytes, keep_alive: bool,
+                     content_type: str = "application/json") -> bytes:
     reason = _REASONS.get(status, "Unknown")
     head = (f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             f"\r\n")

@@ -20,8 +20,11 @@ def cache_stats_payload() -> dict[str, Any]:
     ``disk`` describes the on-disk store (location, entry count, byte
     size); ``counters`` is the in-process hit/miss tally including the
     per-stage breakdown (``dataset``/``build``/``evaluate``/...);
-    ``compiler`` is the cache-invalidation hash of the checkout.
+    ``compiler`` is the cache-invalidation hash of the checkout;
+    ``metrics`` is the process metrics registry
+    (:func:`repro.obs.registry`) snapshot.
     """
+    from repro import obs
     from repro.pipeline.cache import compiler_version, default_cache
 
     cache = default_cache()
@@ -29,6 +32,7 @@ def cache_stats_payload() -> dict[str, Any]:
         "compiler": compiler_version(),
         "disk": cache.disk_info(),
         "counters": cache.stats.as_dict(),
+        "metrics": obs.registry().snapshot(),
     }
 
 

@@ -145,8 +145,9 @@ class TestStatsPayload:
     def test_shared_formatter_shape(self, fresh_cache):
         api.evaluate(_req())
         payload = cache_stats_payload()
-        assert set(payload) == {"compiler", "disk", "counters"}
+        assert set(payload) == {"compiler", "disk", "counters", "metrics"}
         assert set(payload["disk"]) == {"dir", "entries", "bytes"}
+        assert set(payload["metrics"]) == {"counters", "gauges", "histograms"}
         counters = payload["counters"]
         assert counters["misses"] > 0
         assert "evaluate" in counters["stages"]
