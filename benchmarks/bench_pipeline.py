@@ -1,0 +1,123 @@
+"""Fused expression pipelines vs the unfused (materialize-all) baseline.
+
+Measures, per registered pipeline (``repro.pipeline.fusion``) on one
+bench dataset, the modeled DRAM traffic of the fused run against the
+``fuse=False`` baseline — the headline FuseFlow number: bytes of the
+producer→consumer intermediate that never round-trip through DRAM —
+plus wall-clock times for both runs as context. Emits
+``BENCH_pipeline.json`` through the shared :mod:`benchmarks.bench_utils`
+schema; CI's perf job checks the best reduction against the committed
+``benchmarks/baseline.json`` floor (``min_best_reduction_pct``, exact:
+the traffic model is deterministic, no wall clocks involved).
+
+Runs as a pytest suite (enforcing the ≥30% acceptance bar) or
+standalone for CI's smoke configuration::
+
+    python -m benchmarks.bench_pipeline --scale 0.05
+"""
+
+from __future__ import annotations
+
+import time
+
+#: Measurement scale: small enough for a per-PR smoke run; the traffic
+#: reduction is scale-stable (it is a bytes-per-nonzero ratio).
+SMOKE_SCALE = 0.05
+
+#: The dataset the bench numbers are taken on — the densest synthetic
+#: matrix, where the intermediate's traffic share is most pronounced.
+BENCH_DATASET = "random-50pct"
+
+
+def collect_metrics(scale: float = SMOKE_SCALE) -> dict:
+    """Per-pipeline fused-vs-unfused traffic and wall time.
+
+    Returns the metrics dict for ``BENCH_pipeline.json``: one entry per
+    registered pipeline plus a ``best`` summary holding the largest
+    traffic reduction. Fused and unfused outputs are compared
+    checksum-for-checksum before a pipeline's numbers count — fusion
+    that changes results is a failure, not a data point.
+    """
+    from repro.pipeline.fusion import PIPELINE_ORDER, run_pipeline
+
+    metrics: dict[str, dict | float] = {}
+    best: dict | None = None
+    for name in PIPELINE_ORDER:
+        t0 = time.perf_counter()
+        fused = run_pipeline(name, BENCH_DATASET, scale, fuse=True,
+                             use_cache=False)
+        fused_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        unfused = run_pipeline(name, BENCH_DATASET, scale, fuse=False,
+                               use_cache=False)
+        unfused_s = time.perf_counter() - t0
+        if fused["outputs"] != unfused["outputs"]:
+            raise AssertionError(
+                f"fused pipeline {name} disagrees with the unfused "
+                f"baseline on {BENCH_DATASET}"
+            )
+        entry = {
+            "dataset": BENCH_DATASET,
+            "reduction_pct": fused["reduction_pct"],
+            "unfused_mib": unfused["unfused_bytes"] / 2**20,
+            "fused_mib": fused["fused_bytes"] / 2**20,
+            "streams": sum(d["streamed"] for d in fused["decisions"]),
+            "cuts": sum(not d["streamed"] for d in fused["decisions"]),
+            "fused_s": fused_s,
+            "unfused_s": unfused_s,
+        }
+        metrics[name] = entry
+        if best is None or entry["reduction_pct"] > best["reduction_pct"]:
+            best = {"pipeline": name,
+                    "reduction_pct": entry["reduction_pct"]}
+    metrics["best"] = best or {}
+    return metrics
+
+
+def run_smoke(scale: float = SMOKE_SCALE) -> dict:
+    """Collect the metrics and write ``BENCH_pipeline.json``."""
+    from benchmarks.bench_utils import write_bench_json
+
+    metrics = collect_metrics(scale)
+    path = write_bench_json("pipeline", metrics, scale=scale)
+    print(f"wrote {path}")
+    return metrics
+
+
+def test_pipeline_traffic_reduction():
+    """Acceptance: ≥30% modeled traffic saved on at least one pipeline."""
+    metrics = run_smoke()
+    for name, entry in metrics.items():
+        if isinstance(entry, dict) and name != "best":
+            print(f"{name:12s} {entry['reduction_pct']:7.2f}% saved "
+                  f"({entry['streams']} stream(s), {entry['cuts']} cut(s))")
+    assert metrics["best"]["reduction_pct"] >= 30.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Fused pipeline traffic-reduction smoke benchmark")
+    parser.add_argument("--scale", type=float, default=SMOKE_SCALE)
+    parser.add_argument("--min-reduction", type=float, default=30.0,
+                        help="fail below this best-case traffic "
+                             "reduction percentage (default 30)")
+    args = parser.parse_args(argv)
+    metrics = run_smoke(args.scale)
+    for name, entry in metrics.items():
+        if not isinstance(entry, dict) or name == "best":
+            continue
+        print(f"{name:12s} {entry['unfused_mib']:8.3f} MiB -> "
+              f"{entry['fused_mib']:8.3f} MiB "
+              f"({entry['reduction_pct']:6.2f}% saved)  "
+              f"fused={entry['fused_s'] * 1e3:7.1f}ms "
+              f"unfused={entry['unfused_s'] * 1e3:7.1f}ms")
+    best = metrics["best"]
+    print(f"best: {best['pipeline']} at {best['reduction_pct']:.2f}% "
+          f"(floor {args.min_reduction}%)")
+    return 0 if best["reduction_pct"] >= args.min_reduction else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,20 +1,25 @@
 #!/usr/bin/env python3
-"""CI perf gate: compare BENCH_numpy_exec.json against committed floors.
+"""CI perf gate: compare a BENCH_*.json result against committed floors.
 
-Reads a benchmark result written by ``benchmarks/bench_numpy_exec.py``
-(the uniform :mod:`benchmarks.bench_utils` schema) and the committed
-``benchmarks/baseline.json``, and fails when:
+Reads a benchmark result written through :mod:`benchmarks.bench_utils`
+(the uniform schema) and the committed ``benchmarks/baseline.json``,
+picks the baseline section matching the result's ``bench`` name, and
+fails when the numbers fall below the committed floors:
 
-* any kernel's measured speedup drops below ``floor * tolerance`` —
-  the tolerance (committed alongside the floors) absorbs shared-runner
-  noise so the gate trips on real regressions, not scheduler jitter;
-* the geomean speedup drops below ``geomean_floor`` — the acceptance
-  bar, enforced exactly (no tolerance).
+* ``numpy_exec`` — any kernel's measured speedup drops below
+  ``floor * tolerance`` (the tolerance, committed alongside the floors,
+  absorbs shared-runner noise so the gate trips on real regressions,
+  not scheduler jitter), or the geomean speedup drops below
+  ``geomean_floor`` — the acceptance bar, enforced exactly.
+* ``pipeline`` — the best fused pipeline's modeled memory-traffic
+  reduction drops below ``min_best_reduction_pct``. The traffic model
+  is deterministic (no wall clocks involved), so this floor is exact.
 
 Usage::
 
     python scripts/check_bench_regression.py BENCH_numpy_exec.json \
         [--baseline benchmarks/baseline.json]
+    python scripts/check_bench_regression.py BENCH_pipeline.json
 """
 
 from __future__ import annotations
@@ -25,17 +30,15 @@ import sys
 from pathlib import Path
 
 
-def check(result_path: Path, baseline_path: Path) -> int:
-    result = json.loads(result_path.read_text())
-    baseline = json.loads(baseline_path.read_text())
-    metrics = result["metrics"]
+def _check_numpy_exec(metrics: dict, baseline: dict,
+                      result_name: str) -> list[str]:
     tolerance = float(baseline.get("tolerance", 1.0))
     failures: list[str] = []
 
     for kernel, floor in baseline["floors"].items():
         entry = metrics.get(kernel)
         if entry is None:
-            failures.append(f"{kernel}: missing from {result_path.name}")
+            failures.append(f"{kernel}: missing from {result_name}")
             continue
         speedup = float(entry["speedup"])
         effective = float(floor) * tolerance
@@ -55,7 +58,59 @@ def check(result_path: Path, baseline_path: Path) -> int:
           f"(exact)  {status}")
     if geomean < geomean_floor:
         failures.append(f"geomean: {geomean:.1f}x < {geomean_floor:.1f}x")
+    return failures
 
+
+def _check_pipeline(metrics: dict, baseline: dict,
+                    result_name: str) -> list[str]:
+    floor = float(baseline["min_best_reduction_pct"])
+    failures: list[str] = []
+    for name, entry in sorted(metrics.items()):
+        if name == "best" or not isinstance(entry, dict):
+            continue
+        print(f"{name:12s} {float(entry['reduction_pct']):7.2f}% traffic "
+              f"saved  ({float(entry['unfused_mib']):.2f} MiB -> "
+              f"{float(entry['fused_mib']):.2f} MiB)")
+    best = metrics.get("best")
+    if best is None:
+        return [f"best: missing from {result_name}"]
+    reduction = float(best["reduction_pct"])
+    status = "ok" if reduction >= floor else "REGRESSION"
+    print(f"{'best':12s} {reduction:7.2f}%  floor {floor:.2f}% "
+          f"(exact)  {status}")
+    if reduction < floor:
+        failures.append(f"best reduction: {reduction:.2f}% < {floor:.2f}%")
+    return failures
+
+
+_CHECKS = {
+    "numpy_exec": _check_numpy_exec,
+    "pipeline": _check_pipeline,
+}
+
+
+def check(result_path: Path, baseline_path: Path) -> int:
+    result = json.loads(result_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+    bench = result.get("bench", "numpy_exec")
+
+    if "benches" in baseline:
+        section = baseline["benches"].get(bench)
+        if section is None:
+            print(f"no baseline section for bench {bench!r} in "
+                  f"{baseline_path}", file=sys.stderr)
+            return 2
+    else:
+        # Legacy flat layout: the whole file is one numpy_exec section.
+        section = baseline
+
+    checker = _CHECKS.get(bench)
+    if checker is None:
+        print(f"no gate registered for bench {bench!r}; known: "
+              f"{', '.join(sorted(_CHECKS))}", file=sys.stderr)
+        return 2
+
+    failures = checker(result["metrics"], section, result_path.name)
     if failures:
         print("\nperf gate FAILED:", file=sys.stderr)
         for failure in failures:
@@ -68,7 +123,7 @@ def check(result_path: Path, baseline_path: Path) -> int:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("result", type=Path,
-                        help="BENCH_numpy_exec.json to check")
+                        help="BENCH_<name>.json to check")
     parser.add_argument("--baseline", type=Path,
                         default=Path("benchmarks/baseline.json"))
     args = parser.parse_args(argv)

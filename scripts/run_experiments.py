@@ -53,7 +53,7 @@ TINY = 0.02
 def _artifact_scales(scale: float) -> list[tuple[str, float]]:
     return [("table3", TINY), ("table5", TINY),
             ("table6", scale), ("figure12", scale),
-            ("format_sweep", scale)]
+            ("format_sweep", scale), ("pipeline_sweep", scale)]
 
 
 def _run_shard(args, use_cache) -> int:
@@ -170,9 +170,9 @@ def main() -> int:
                              "from the recorded per-job cost table")
     parser.add_argument("--engine", choices=["interp", "cpu", "numpy"],
                         default=None,
-                        help="functionally execute each table6/format_sweep "
-                             "cell with this engine and validate it against "
-                             "the interpreter oracle")
+                        help="functionally execute each table6/format_sweep/"
+                             "pipeline_sweep cell with this engine and "
+                             "validate it against the interpreter oracle")
     args = parser.parse_args()
     use_cache = False if args.no_cache else None
 
@@ -194,7 +194,8 @@ def main() -> int:
     t0 = time.time()
     structural = run_batch(["table3", "table5"], TINY,
                            jobs=args.jobs, use_cache=use_cache)
-    scaled = run_batch(["table6", "figure12", "format_sweep"], args.scale,
+    scaled = run_batch(["table6", "figure12", "format_sweep",
+                        "pipeline_sweep"], args.scale,
                        jobs=args.jobs, use_cache=use_cache,
                        engine=args.engine)
 
@@ -206,7 +207,8 @@ def main() -> int:
                  for run in (structural, scaled)
                  for name, text in run.texts.items()}
     for name, text in artefacts.items():
-        at = (args.scale if name.startswith(("table6", "figure", "format"))
+        at = (args.scale
+              if name.startswith(("table6", "figure", "format", "pipeline"))
               else TINY)
         (OUT / name).write_text(text + "\n")
         print(f"\n##### {name} (scale={at})")

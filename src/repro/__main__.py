@@ -44,6 +44,12 @@ Subcommands:
 * ``convert``  — synthesize and run a format-conversion plan between two
   registered formats on a matrix dataset (the ``repro.convert``
   conversion compiler).
+* ``pipeline`` — plan and run a fused expression pipeline (FuseFlow):
+  chained einsum stages whose intermediates stream producer-to-consumer
+  on-fabric unless a cut heuristic forces materialization; prints the
+  per-connection cut report and the modeled traffic saved
+  (``--no-fuse`` is the materialize-everything baseline, ``--out``
+  writes the fusion-invariant numeric outputs as JSON).
 * ``cache``    — inspect or clear the on-disk compilation cache
   (``--json`` emits the same stats payload the serve daemon exposes
   at ``/stats``).
@@ -132,6 +138,10 @@ def _cmd_tables(args) -> int:
         print(harness.format_format_sweep(
             harness.format_sweep(args.scale, jobs=args.jobs,
                                  use_cache=use_cache, engine=engine)))
+    elif artefact == "pipeline_sweep":
+        print(harness.format_pipeline_sweep(
+            harness.pipeline_sweep(args.scale, jobs=args.jobs,
+                                   use_cache=use_cache, engine=engine)))
     else:  # pragma: no cover - argparse restricts choices
         return 2
     return 0
@@ -227,6 +237,79 @@ def _cmd_convert(args) -> int:
         else:
             print("verify: MISMATCH", file=sys.stderr)
             return 1
+    return 0
+
+
+def _print_pipeline_report(row: dict) -> None:
+    mode = "fused" if row["fused"] else "unfused (--no-fuse)"
+    print(f"{row['pipeline']} on {row['dataset']} "
+          f"(scale {row['scale']}, {mode}, engine {row['engine']}):")
+    for dec in row["decisions"]:
+        verdict = ("streams on-fabric (DRAM buffer elided)"
+                   if dec["streamed"] else f"cut: {dec['reason']}")
+        print(f"  {dec['producer']} -> {dec['consumer']} "
+              f"via {dec['intermediate']}: {verdict}")
+    for st in row["stages"]:
+        streams = ", ".join(st["streams"]) if st["streams"] else "-"
+        print(f"  stage {st['stage']:<10s} out={st['output']:<4s}"
+              f"{st['fused_bytes'] / 1024:10.1f} KiB "
+              f"(unfused {st['unfused_bytes'] / 1024:.1f} KiB)  "
+              f"streams: {streams}")
+    print(f"  total {row['fused_bytes'] / 1024:.1f} KiB vs "
+          f"{row['unfused_bytes'] / 1024:.1f} KiB unfused: "
+          f"{row['reduction_pct']:.2f}% saved "
+          f"({row['elided_bytes'] / 1024:.1f} KiB elided)")
+
+
+def _cmd_pipeline(args) -> int:
+    import json
+
+    from repro.pipeline.fusion import (
+        PIPELINE_ORDER,
+        PIPELINES,
+        FusionError,
+        run_pipeline,
+    )
+
+    if args.all:
+        names = list(PIPELINE_ORDER)
+    elif args.name:
+        if args.name not in PIPELINES:
+            print(f"unknown pipeline {args.name!r}; choose from: "
+                  f"{', '.join(PIPELINE_ORDER)}", file=sys.stderr)
+            return 2
+        names = [args.name]
+    else:
+        print("pipeline: give a pipeline name or --all; registered: "
+              f"{', '.join(PIPELINE_ORDER)}", file=sys.stderr)
+        return 2
+
+    use_cache = _use_cache(args)
+    payload: dict[str, dict] = {}
+    for name in names:
+        spec = PIPELINES[name]
+        datasets = [args.dataset] if args.dataset else list(spec.datasets)
+        payload[name] = {}
+        for dataset in datasets:
+            try:
+                row = run_pipeline(name, dataset, args.scale, args.seed,
+                                   fuse=not args.no_fuse, engine=args.engine,
+                                   use_cache=use_cache)
+            except FusionError as exc:
+                print(f"pipeline error: {exc}", file=sys.stderr)
+                return 1
+            payload[name][dataset] = row["outputs"]
+            _print_pipeline_report(row)
+            print()
+    if args.out:
+        # Numerics only (shapes + checksums): fused and --no-fuse runs
+        # of the same pipelines must produce byte-identical files.
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if args.out == "-":
+            print(text)
+        else:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
     return 0
 
 
@@ -566,7 +649,7 @@ def main(argv: list[str] | None = None) -> int:
     p_tab = sub.add_parser("tables", help="regenerate a table/figure")
     p_tab.add_argument("artifact",
                        choices=["table3", "table5", "table6", "figure12",
-                                "format_sweep"])
+                                "format_sweep", "pipeline_sweep"])
     p_tab.add_argument("--scale", type=float, default=0.25)
     p_tab.add_argument("--jobs", type=int, default=None,
                        help="parallel worker count (default: REPRO_JOBS or 1)")
@@ -583,7 +666,7 @@ def main(argv: list[str] | None = None) -> int:
     p_batch.add_argument(
         "artifacts", nargs="+",
         choices=["table3", "table5", "table6", "figure12", "format_sweep",
-                 "all"])
+                 "pipeline_sweep", "all"])
     p_batch.add_argument("--scale", type=float, default=0.25)
     p_batch.add_argument("--jobs", type=int, default=None,
                          help="parallel worker count (default: REPRO_JOBS or 1)")
@@ -615,7 +698,7 @@ def main(argv: list[str] | None = None) -> int:
              "`tables`)")
     p_disp.add_argument("artifact",
                         choices=["table3", "table5", "table6", "figure12",
-                                 "format_sweep"])
+                                 "format_sweep", "pipeline_sweep"])
     p_disp.add_argument("--workers", default="local:2", metavar="SPEC",
                         help="transport spec: local:N subprocesses "
                              "(default local:2), ssh:host1,host2, "
@@ -710,6 +793,36 @@ def main(argv: list[str] | None = None) -> int:
     p_conv.add_argument("--no-cache", action="store_true",
                         help="bypass the dataset/conversion cache")
 
+    p_pipe = sub.add_parser(
+        "pipeline",
+        help="plan and run a fused expression pipeline (FuseFlow): "
+             "producer levels stream into consumer co-iterators with "
+             "automatic materializing cuts; prints the cut report and "
+             "modeled traffic")
+    p_pipe.add_argument("name", nargs="?", default=None,
+                        help="pipeline name (see --all for the registry)")
+    p_pipe.add_argument("--all", action="store_true",
+                        help="run every registered pipeline")
+    p_pipe.add_argument("--dataset", default=None,
+                        help="matrix dataset (default: each pipeline's "
+                             "full dataset list)")
+    p_pipe.add_argument("--scale", type=float, default=0.25)
+    p_pipe.add_argument("--seed", type=int, default=7)
+    p_pipe.add_argument("--engine", choices=["interp", "cpu", "numpy"],
+                        default=None,
+                        help="execution engine for every stage (default: "
+                             "REPRO_ENGINE or numpy); each stage is "
+                             "validated against the interpreter oracle")
+    p_pipe.add_argument("--no-fuse", action="store_true",
+                        help="force a materializing cut at every "
+                             "connection (the equivalence baseline)")
+    p_pipe.add_argument("--out", default=None, metavar="FILE",
+                        help="write the numeric outputs (shapes + "
+                             "checksums) as JSON; fused and --no-fuse "
+                             "runs must byte-match")
+    p_pipe.add_argument("--no-cache", action="store_true",
+                        help="bypass the compilation/result cache")
+
     p_serve = sub.add_parser(
         "serve",
         help="run the compile-as-a-service daemon: HTTP/JSON requests "
@@ -771,13 +884,13 @@ def main(argv: list[str] | None = None) -> int:
                          help="exit 1 on malformed lines or orphaned "
                               "spans (expected only after worker kills)")
 
-    for p in (p_tab, p_batch, p_disp, p_work, p_serve):
+    for p in (p_tab, p_batch, p_disp, p_work, p_serve, p_pipe):
         _add_trace_flag(p)
 
     args = parser.parse_args(argv)
     _apply_trace(args)
 
-    if getattr(args, "dataset", "unset") is None:
+    if getattr(args, "dataset", "unset") is None and hasattr(args, "kernel"):
         from repro.data import datasets_for
 
         args.dataset = datasets_for(args.kernel)[0].name
@@ -793,6 +906,7 @@ def main(argv: list[str] | None = None) -> int:
         "merge": _cmd_merge,
         "formats": _cmd_formats,
         "convert": _cmd_convert,
+        "pipeline": _cmd_pipeline,
         "serve": _cmd_serve,
         "cache": _cmd_cache,
         "trace": _cmd_trace,

@@ -31,6 +31,7 @@ from repro.service.api import (
     execute,
     first_dataset,
     load_dataset,
+    pipeline,
 )
 
 __all__ = [
@@ -54,4 +55,5 @@ __all__ = [
     "execute",
     "first_dataset",
     "load_dataset",
+    "pipeline",
 ]

@@ -140,11 +140,22 @@ def _restrict(keys: np.ndarray, parents: Optional[np.ndarray], dim: int) -> np.n
 class StatsBuilder:
     """Walks the scheduled CIN once, accumulating workload statistics."""
 
-    def __init__(self, kernel: CompiledKernel, tensors: dict[str, Tensor]) -> None:
+    def __init__(
+        self,
+        kernel: CompiledKernel,
+        tensors: dict[str, Tensor],
+        stream_inputs: frozenset[str] = frozenset(),
+        stream_output: bool = False,
+    ) -> None:
         self.kernel = kernel
         self.analysis = kernel.analysis
         self.plan = kernel.plan
         self.tensors = tensors
+        # Fused-pipeline connections: operands arriving over an on-fabric
+        # stream (and an output leaving on one) never touch DRAM, so their
+        # segment/static transfers are elided from the traffic model.
+        self.stream_inputs = frozenset(stream_inputs)
+        self.stream_output = bool(stream_output)
         self.env = kernel.stmt.environment_vars
         self.stats = WorkloadStats(kernel.name, [])
         self._keys_cache: dict[int, _TensorKeys] = {}
@@ -324,6 +335,8 @@ class StatsBuilder:
 
     def _add_segment_traffic(self, it, elements: int, launches: int) -> None:
         """crd (and innermost vals) segments stream exactly once overall."""
+        if it.tensor.name in self.stream_inputs:
+            return  # fed by the producer stage's stream, not DRAM
         # Consecutive segments of one traversal are contiguous in DRAM, so
         # a loop's loads form one long stream per replica (the decoupled
         # access-execute point of Section 8.2), not per-segment bursts.
@@ -353,6 +366,8 @@ class StatsBuilder:
         for t in self.analysis.inputs:
             if t.order == 0 or t.is_on_chip:
                 continue
+            if t.name in self.stream_inputs:
+                continue  # pos/crd/vals all arrive over the fused stream
             bound = self.tensor_of(t)
             storage = bound.storage
             fmt = t.format
@@ -382,6 +397,8 @@ class StatsBuilder:
             # FIFO vals traffic is accounted per segment in the walk.
 
         out = self.analysis.output
+        if self.stream_output:
+            return  # consumed downstream by the fused consumer, never stored
         if out.order == 0:
             self.stats.dram_write_bytes += WORD_BYTES
             return
@@ -399,12 +416,24 @@ class StatsBuilder:
         self.stats.dram_bursts += bursts + 1
 
 
-def compute_stats(kernel: CompiledKernel, tensors: dict[str, Tensor] | None = None) -> WorkloadStats:
-    """Workload statistics for a compiled kernel on its bound tensors."""
+def compute_stats(
+    kernel: CompiledKernel,
+    tensors: dict[str, Tensor] | None = None,
+    *,
+    stream_inputs: frozenset[str] = frozenset(),
+    stream_output: bool = False,
+) -> WorkloadStats:
+    """Workload statistics for a compiled kernel on its bound tensors.
+
+    ``stream_inputs`` names operands that a fused pipeline streams in from
+    a producer stage; ``stream_output`` marks the output as streaming into
+    a consumer stage. Both elide the corresponding DRAM transfers.
+    """
     bound = dict(kernel.tensors)
     if tensors:
         bound.update(tensors)
-    return StatsBuilder(kernel, bound).build()
+    return StatsBuilder(kernel, bound, stream_inputs=stream_inputs,
+                        stream_output=stream_output).build()
 
 
 def compute_stats_cached(

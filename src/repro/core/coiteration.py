@@ -332,3 +332,39 @@ def _root_sparse_op(term: IterTerm) -> str:
     if inner.op is None:
         raise LoweringError("expected two sparse operands")
     return _root_sparse_op(inner)
+
+
+# ---------------------------------------------------------------------------
+# Fused-pipeline stream compatibility (FuseFlow cut rule)
+# ---------------------------------------------------------------------------
+
+
+def stream_compatible(producer_fmt, consumer_fmt) -> str | None:
+    """Can a producer's output levels stream into a consumer co-iterator?
+
+    Returns ``None`` when the connection can stream level-by-level, or a
+    human-readable cut reason when the formats force materialization.
+    Following Chou et al.'s capability records, streaming requires the two
+    sides to agree structurally (same level kinds and mode ordering) and
+    every produced level to be *ordered* and *unique*: a consumer iterator
+    merges streams positionally, so out-of-order or duplicated coordinates
+    would need a materialized sort/dedup pass in between.
+    """
+    if (producer_fmt.mode_formats != consumer_fmt.mode_formats
+            or producer_fmt.mode_ordering != consumer_fmt.mode_ordering):
+        return (
+            f"format mismatch (producer stores {producer_fmt}, consumer "
+            f"iterates {consumer_fmt}); conversion requires materialization"
+        )
+    for level, mf in enumerate(producer_fmt.mode_formats):
+        if not mf.ordered:
+            return (
+                f"unordered producer (level {level} is {mf}); the consumer "
+                "co-iterator needs coordinates in order"
+            )
+        if not mf.unique:
+            return (
+                f"non-unique producer (level {level} is {mf}); duplicate "
+                "coordinates would double-count in the consumer"
+            )
+    return None

@@ -102,11 +102,20 @@ NNZ_ACCEL_MAX = "nnz_accel_max"
 class Lowerer:
     """Lowers one scheduled statement to a :class:`SpatialProgram`."""
 
-    def __init__(self, stmt: IndexStmt, name: str = "kernel") -> None:
+    def __init__(
+        self,
+        stmt: IndexStmt,
+        name: str = "kernel",
+        streamed: frozenset = frozenset(),
+    ) -> None:
         self.stmt = stmt
         self.name = name
+        # Fused-pipeline connections: tensors whose DRAM materialization is
+        # elided because a producer stage streams directly into this
+        # kernel's co-iterators (or this kernel streams into a consumer).
+        self.streamed = frozenset(streamed)
         self.analysis: KernelAnalysis = analyze(stmt)
-        self.plan: MemoryPlan = plan_memory(self.analysis)
+        self.plan: MemoryPlan = plan_memory(self.analysis, self.streamed)
         self.env = dict(stmt.environment_vars)
         self.symbols: dict[str, None] = {}
         self.dram: list[DramDecl] = []
@@ -292,6 +301,11 @@ class Lowerer:
         self._body_stack.pop()
 
         self.notes.extend(self.plan.report().splitlines())
+        for name in sorted(self.streamed):
+            self.notes.append(
+                f"fused stream: {name} levels stream over on-fabric FIFOs "
+                "(DRAM materialization elided)"
+            )
         for info in self.analysis.foralls:
             self.notes.extend(f"  {t}" for t in info.strategy.trace)
         return SpatialProgram(
@@ -302,6 +316,7 @@ class Lowerer:
             accel=tuple(accel),
             layouts=self.layouts,
             notes=tuple(self.notes),
+            streams=tuple(sorted(self.streamed)),
         )
 
     @staticmethod
@@ -1226,6 +1241,8 @@ class Lowerer:
         )
 
 
-def lower(stmt: IndexStmt, name: str = "kernel") -> SpatialProgram:
+def lower(
+    stmt: IndexStmt, name: str = "kernel", streamed: frozenset = frozenset()
+) -> SpatialProgram:
     """Lower a scheduled statement to a Spatial program."""
-    return Lowerer(stmt, name).lower()
+    return Lowerer(stmt, name, streamed=streamed).lower()

@@ -59,11 +59,13 @@ __all__ = [
     "first_dataset",
     "format_figure12",
     "format_format_sweep",
+    "format_pipeline_sweep",
     "format_sweep",
     "format_table3",
     "format_table5",
     "format_table6",
     "load_dataset_cached",
+    "pipeline_sweep",
     "table3",
     "table5",
     "table6",
@@ -358,5 +360,49 @@ def format_format_sweep(results: dict[str, dict[str, dict]]) -> str:
                 f"{cell['spatial_loc']:6d}{cell['pcu']:6d}{cell['pmu']:6d}"
                 f"{cell['dram_bytes'] / (1024 * 1024):10.2f}"
                 f"{cell['seconds'] * 1e6:12.2f}"
+            )
+    return "\n".join(lines)
+
+
+def pipeline_sweep(scale: float = DEFAULT_SCALE, jobs: int | None = None,
+                   use_cache: bool | None = None,
+                   engine: str | None = None) -> dict[str, dict[str, dict]]:
+    """Fused multi-kernel pipelines over the matrix datasets.
+
+    Each cell plans and executes one expression pipeline (FuseFlow-style
+    cross-expression fusion with automatic cuts) and reports the cut
+    decisions plus the modeled memory traffic with and without fusion.
+    """
+    from repro.pipeline.batch import run_artifact
+
+    return run_artifact("pipeline_sweep", scale, jobs=jobs,
+                        use_cache=use_cache, engine=engine)
+
+
+def format_pipeline_sweep(results: dict[str, dict[str, dict]]) -> str:
+    from repro.pipeline.fusion import PIPELINE_ORDER, PIPELINES
+
+    lines = ["Pipeline sweep — fused expression pipelines (FuseFlow cuts)"]
+    lines.append(
+        f"{'Pipeline':12s}{'Dataset':18s}{'Conn':>6s}{'Streams':>9s}"
+        f"{'Unfused KiB':>13s}{'Fused KiB':>11s}{'Saved':>8s}  Cut reasons"
+    )
+    for name in PIPELINE_ORDER:
+        rows = results.get(name, {})
+        for dataset in PIPELINES[name].datasets:
+            cell = rows.get(dataset)
+            if cell is None:
+                continue
+            decisions = cell["decisions"]
+            streams = sum(1 for d in decisions if d["streamed"])
+            cuts = "; ".join(
+                d["reason"].split("(")[0].split(":")[0].strip()
+                for d in decisions if not d["streamed"]
+            ) or "-"
+            lines.append(
+                f"{name:12s}{dataset:18s}{len(decisions):6d}{streams:9d}"
+                f"{cell['unfused_bytes'] / 1024:13.1f}"
+                f"{cell['fused_bytes'] / 1024:11.1f}"
+                f"{cell['reduction_pct']:7.1f}%  {cuts}"
             )
     return "\n".join(lines)

@@ -31,7 +31,8 @@ __all__ = [
 ]
 
 #: Artefacts the batch runner can regenerate.
-ARTIFACT_NAMES = ("table3", "table5", "table6", "figure12", "format_sweep")
+ARTIFACT_NAMES = ("table3", "table5", "table6", "figure12", "format_sweep",
+                  "pipeline_sweep")
 
 
 # ---------------------------------------------------------------------------
@@ -200,6 +201,37 @@ def format_sweep_cell(kernel_name: str, dataset_name: str, scale: float,
                          compute, use_cache)
 
 
+def pipeline_sweep_cell(pipeline_name: str, dataset_name: str, scale: float,
+                        use_cache: bool | None = None,
+                        engine: str | None = None):
+    """One pipeline-sweep cell: the fused-vs-unfused report for one
+    pipeline on one dataset.
+
+    The row itself is computed with the interpreter oracle, so shard
+    manifests stay engine-agnostic (the discipline :func:`evaluate_cell`
+    set). ``engine`` adds a separate engine-keyed run whose every stage is
+    validated cell-by-cell against the oracle inside
+    :func:`repro.pipeline.fusion.run_pipeline`.
+    """
+    from repro.pipeline.fusion import run_pipeline
+
+    if engine is not None and engine != "interp":
+        memoize_stage(
+            "pipeline", (pipeline_name, dataset_name, scale, 7, engine),
+            lambda: run_pipeline(pipeline_name, dataset_name, scale, seed=7,
+                                 fuse=True, engine=engine,
+                                 use_cache=use_cache)["checksum"],
+            use_cache,
+        )
+
+    def compute():
+        return run_pipeline(pipeline_name, dataset_name, scale, seed=7,
+                            fuse=True, engine="interp", use_cache=use_cache)
+
+    return memoize_stage("pipeline", (pipeline_name, dataset_name, scale, 7),
+                         compute, use_cache)
+
+
 # ---------------------------------------------------------------------------
 # Job lists
 # ---------------------------------------------------------------------------
@@ -249,6 +281,15 @@ def artifact_jobs(artifact: str, scale: float,
             for kernel in FORMAT_SWEEP_KERNELS
             for dspec in datasets_for(kernel)
         ]
+    if artifact == "pipeline_sweep":
+        from repro.pipeline.fusion import PIPELINES, PIPELINE_ORDER
+
+        return [
+            Job((name, dataset, "fusion"), pipeline_sweep_cell,
+                (name, dataset, scale), dict(exec_kwargs))
+            for name in PIPELINE_ORDER
+            for dataset in PIPELINES[name].datasets
+        ]
     raise KeyError(
         f"unknown artefact {artifact!r}; choose from {ARTIFACT_NAMES}"
     )
@@ -293,7 +334,7 @@ def assemble_artifact(artifact: str, results: list[JobResult]):
     """Fold ordered job results into the artefact's data structure."""
     if artifact == "table6":
         return _assemble_table6(results)
-    if artifact == "format_sweep":
+    if artifact in ("format_sweep", "pipeline_sweep"):
         return _assemble_format_sweep(results)
     return _assemble_by_kernel(results)
 
@@ -308,6 +349,7 @@ def format_artifact(artifact: str, data) -> str:
         "table6": harness.format_table6,
         "figure12": harness.format_figure12,
         "format_sweep": harness.format_format_sweep,
+        "pipeline_sweep": harness.format_pipeline_sweep,
     }[artifact]
     return formatter(data)
 

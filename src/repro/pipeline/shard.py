@@ -186,6 +186,8 @@ def encode_result(artifact: str, value: Any) -> Any:
         return {str(bw): ratio for bw, ratio in value.items()}
     if artifact == "format_sweep":  # plain metrics dict per cell
         return dict(value)
+    if artifact == "pipeline_sweep":  # plain fusion-report dict per cell
+        return dict(value)
     raise KeyError(
         f"unknown artefact {artifact!r}; choose from {ARTIFACT_NAMES}"
     )
@@ -211,6 +213,8 @@ def decode_result(artifact: str, payload: Any) -> Any:
         return {int(bw) if bw.lstrip("-").isdigit() else float(bw): ratio
                 for bw, ratio in payload.items()}
     if artifact == "format_sweep":
+        return dict(payload)
+    if artifact == "pipeline_sweep":
         return dict(payload)
     raise KeyError(
         f"unknown artefact {artifact!r}; choose from {ARTIFACT_NAMES}"

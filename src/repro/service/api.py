@@ -57,6 +57,7 @@ __all__ = [
     "execute",
     "first_dataset",
     "load_dataset",
+    "pipeline",
 ]
 
 #: Default dataset scale; override with REPRO_SCALE (1.0 = full Table 4).
@@ -66,8 +67,10 @@ DEFAULT_SCALE = float(os.environ.get("REPRO_SCALE", "0.25"))
 DEFAULT_SEED = 7
 
 #: Request verbs: ``compile`` renders the kernel (source, LoC, memory
-#: plan); ``evaluate`` predicts per-platform runtimes (Table 6 cells).
-ACTIONS = ("compile", "evaluate")
+#: plan); ``evaluate`` predicts per-platform runtimes (Table 6 cells);
+#: ``pipeline`` plans and runs a fused expression pipeline (the
+#: ``kernel`` field carries the pipeline name).
+ACTIONS = ("compile", "evaluate", "pipeline")
 
 PLATFORMS = (
     "Capstan (Ideal)",
@@ -97,7 +100,7 @@ class EngineMismatchError(AssertionError):
 # ---------------------------------------------------------------------------
 
 _REQUEST_FIELDS = ("action", "kernel", "dataset", "scale", "seed",
-                   "platforms", "engine")
+                   "platforms", "engine", "fuse")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -120,6 +123,7 @@ class CompileRequest:
     platforms: tuple[str, ...] | None = None
     engine: str | None = None
     action: str = "evaluate"
+    fuse: bool = True
 
     def resolved(self) -> CompileRequest:
         """Defaults filled in and every field validated.
@@ -135,6 +139,8 @@ class CompileRequest:
         if self.action not in ACTIONS:
             raise ValueError(
                 f"unknown action {self.action!r}; choose from {ACTIONS}")
+        if self.action == "pipeline":
+            return self._resolved_pipeline()
         if self.kernel not in KERNELS:
             raise ValueError(
                 f"unknown kernel {self.kernel!r}; choose from "
@@ -162,12 +168,38 @@ class CompileRequest:
         engine = None if self.action == "compile" else self.engine
         return dataclasses.replace(self, dataset=dataset, scale=scale,
                                    seed=int(self.seed), platforms=platforms,
-                                   engine=engine)
+                                   engine=engine, fuse=True)
+
+    def _resolved_pipeline(self) -> CompileRequest:
+        """Resolution for pipeline requests: ``kernel`` names a pipeline
+        from the :data:`repro.pipeline.fusion.PIPELINES` registry and the
+        dataset comes from the pipeline's own evaluation set."""
+        from repro.pipeline.fusion import PIPELINES
+
+        spec = PIPELINES.get(self.kernel)
+        if spec is None:
+            raise ValueError(
+                f"unknown pipeline {self.kernel!r}; choose from "
+                f"{sorted(PIPELINES)}")
+        dataset = self.dataset if self.dataset is not None else spec.datasets[0]
+        if dataset not in spec.datasets:
+            raise ValueError(
+                f"unknown dataset {dataset!r} for pipeline {self.kernel}; "
+                f"choose from {list(spec.datasets)}")
+        scale = DEFAULT_SCALE if self.scale is None else float(self.scale)
+        if not scale > 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        if self.engine is not None and self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; choose from {ENGINES}")
+        return dataclasses.replace(self, dataset=dataset, scale=scale,
+                                   seed=int(self.seed), platforms=None,
+                                   fuse=bool(self.fuse))
 
     def canonical(self) -> dict[str, Any]:
         """The defaults-resolved request as a plain JSON-able dict."""
         r = self.resolved()
-        return {
+        out = {
             "action": r.action,
             "kernel": r.kernel,
             "dataset": r.dataset,
@@ -176,6 +208,12 @@ class CompileRequest:
             "platforms": list(r.platforms) if r.platforms is not None else None,
             "engine": r.engine,
         }
+        # Only pipeline requests carry a fuse flag on the wire, so the
+        # canonical form (and hence every cache key) of compile/evaluate
+        # requests is byte-identical to what it was before pipelines.
+        if r.action == "pipeline":
+            out["fuse"] = r.fuse
+        return out
 
     def canonical_json(self) -> str:
         """The canonical wire form — and the cache-key derivation.
@@ -190,6 +228,8 @@ class CompileRequest:
     @property
     def stage(self) -> str:
         """The cache stage the request's result is memoized under."""
+        if self.action == "pipeline":
+            return "pipeline"
         return "evaluate" if self.action == "evaluate" else "compile"
 
     @classmethod
@@ -216,6 +256,9 @@ class CompileRequest:
         except (TypeError, ValueError):
             raise ValueError("'scale' must be a number and 'seed' an "
                              "integer") from None
+        fuse = data.get("fuse", True)
+        if not isinstance(fuse, bool):
+            raise ValueError("'fuse' must be a boolean")
         return cls(
             kernel=str(data["kernel"]),
             dataset=(str(data["dataset"])
@@ -226,6 +269,7 @@ class CompileRequest:
             engine=(str(data["engine"])
                     if data.get("engine") is not None else None),
             action=str(data.get("action", "evaluate")),
+            fuse=fuse,
         )
 
     @classmethod
@@ -274,6 +318,7 @@ class CompileResult:
     spatial_loc: int | None = None
     input_loc: int | None = None
     memory_report: str | None = None
+    pipeline: dict[str, Any] | None = None
 
     def platform_times(self) -> PlatformTimes:
         """The evaluate payload as the harness's :class:`PlatformTimes`."""
@@ -293,6 +338,8 @@ class CompileResult:
             "spatial_loc": self.spatial_loc,
             "input_loc": self.input_loc,
             "memory_report": self.memory_report,
+            "pipeline": (dict(self.pipeline)
+                         if self.pipeline is not None else None),
         }
 
     def to_json(self) -> str:
@@ -310,6 +357,7 @@ class CompileResult:
             spatial_loc=data.get("spatial_loc"),
             input_loc=data.get("input_loc"),
             memory_report=data.get("memory_report"),
+            pipeline=data.get("pipeline"),
         )
 
 
@@ -539,12 +587,38 @@ def compile(request: CompileRequest,  # noqa: A001 - the API verb
                          use_cache)
 
 
+def pipeline(request: CompileRequest,
+             use_cache: bool | None = None) -> CompileResult:
+    """Plan and run one fused expression pipeline (FuseFlow).
+
+    The request's ``kernel`` field names the pipeline; ``fuse=False``
+    forces materializing cuts at every connection (the equivalence
+    baseline). Memoized under the ``pipeline`` stage on the request's
+    canonical JSON, like the other verbs.
+    """
+    from repro.pipeline.cache import memoize_stage
+    from repro.pipeline.fusion import run_pipeline
+
+    req = dataclasses.replace(request, action="pipeline").resolved()
+
+    def compute() -> CompileResult:
+        row = run_pipeline(req.kernel, req.dataset, req.scale, req.seed,
+                           fuse=req.fuse, engine=req.engine or "interp",
+                           use_cache=use_cache)
+        return CompileResult(request=req, pipeline=row)
+
+    return memoize_stage("pipeline", (req.canonical_json(),), compute,
+                         use_cache)
+
+
 def execute(request: CompileRequest,
             use_cache: bool | None = None) -> CompileResult:
     """Run one request, whatever its action (the worker entry point)."""
     req = request.resolved()
     if req.action == "compile":
         return compile(req, use_cache=use_cache)
+    if req.action == "pipeline":
+        return pipeline(req, use_cache=use_cache)
     return evaluate(req, use_cache=use_cache)
 
 

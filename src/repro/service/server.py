@@ -29,6 +29,8 @@ Endpoints::
 
     POST /evaluate   {"kernel": ..., "dataset": ..., "scale": ..., ...}
     POST /compile    same body; renders source/LoC/memory report
+    POST /pipeline   {"kernel": <pipeline>, "fuse": ..., ...}; runs a
+                     fused expression pipeline (FuseFlow cut report)
     GET  /stats      serve counters + the shared cache-stats payload
     GET  /healthz    liveness
 
@@ -498,14 +500,14 @@ class CompileService:
         if path == "/metrics":
             return (200, self.metrics_text().encode(),
                     "text/plain; version=0.0.4; charset=utf-8")
-        if path in ("/compile", "/evaluate"):
+        if path in ("/compile", "/evaluate", "/pipeline"):
             if method != "POST":
                 return 405, _error_body(f"{path} expects POST"), json_ct
             status, payload = await self._handle_work(path.lstrip("/"), body)
             return status, payload, json_ct
         return 404, _error_body(
-            f"unknown path {path!r}; try /compile, /evaluate, /stats, "
-            f"/metrics"), json_ct
+            f"unknown path {path!r}; try /compile, /evaluate, /pipeline, "
+            f"/stats, /metrics"), json_ct
 
     def stats_payload(self) -> dict[str, Any]:
         """The ``/stats`` body: serve counters + shared cache payload."""
