@@ -14,6 +14,11 @@ fails when the numbers fall below the committed floors:
 * ``pipeline`` — the best fused pipeline's modeled memory-traffic
   reduction drops below ``min_best_reduction_pct``. The traffic model
   is deterministic (no wall clocks involved), so this floor is exact.
+* ``partition`` — any row-partitioned merge stops being byte-identical
+  to the serial run (``require_merge_exact``) or the blocks lose or
+  duplicate nonzeros (``work_inflation`` above ``max_work_inflation``).
+  Both invariants are deterministic, so they are enforced exactly; the
+  phase wall clocks in the result are printed as context, never gated.
 
 Usage::
 
@@ -83,9 +88,48 @@ def _check_pipeline(metrics: dict, baseline: dict,
     return failures
 
 
+def _check_partition(metrics: dict, baseline: dict,
+                     result_name: str) -> list[str]:
+    require_exact = bool(baseline.get("require_merge_exact", True))
+    max_inflation = float(baseline.get("max_work_inflation", 1.0))
+    failures: list[str] = []
+    for kernel, entry in sorted(metrics.items()):
+        if kernel == "summary" or not isinstance(entry, dict):
+            continue
+        for key in sorted(k for k in entry if isinstance(entry[k], dict)):
+            timed = entry[key]
+            exact = bool(timed.get("merge_exact"))
+            inflation = float(timed.get("work_inflation", 0.0))
+            bad = (require_exact and not exact) or inflation > max_inflation
+            status = "REGRESSION" if bad else "ok"
+            print(f"{kernel:12s} {key:4s} "
+                  f"slice={float(timed['slice_s']) * 1e3:7.1f}ms "
+                  f"compute={float(timed['compute_s']) * 1e3:7.1f}ms "
+                  f"reduce={float(timed['reduce_s']) * 1e3:7.1f}ms "
+                  f"exact={exact} inflation={inflation:.3f}  {status}")
+            if require_exact and not exact:
+                failures.append(
+                    f"{kernel} {key}: merged output is not byte-identical "
+                    f"to the serial run")
+            if inflation > max_inflation:
+                failures.append(
+                    f"{kernel} {key}: work inflation {inflation:.3f} > "
+                    f"{max_inflation:.3f} (lost or duplicated nonzeros)")
+    summary = metrics.get("summary")
+    if summary is None:
+        return [f"summary: missing from {result_name}"]
+    exact_all = bool(summary.get("merge_exact_all"))
+    print(f"{'summary':12s} merge_exact_all={exact_all} "
+          f"(exact)  {'ok' if exact_all or not require_exact else 'REGRESSION'}")
+    if require_exact and not exact_all:
+        failures.append("summary: merge_exact_all is false")
+    return failures
+
+
 _CHECKS = {
     "numpy_exec": _check_numpy_exec,
     "pipeline": _check_pipeline,
+    "partition": _check_partition,
 }
 
 

@@ -22,7 +22,15 @@ Subcommands:
   byte-identical to the serial ``tables`` run. ``--resume DIR``
   persists per-chunk manifests and picks up a partially completed
   dispatch; ``--steal`` cuts cost-balanced chunks from the persistent
-  per-job cost table instead of uniform slices.
+  per-job cost table instead of uniform slices. ``--partition P``
+  reinterprets the positional as a kernel name and distributes that
+  single kernel as ``P`` row blocks instead of sharding a sweep.
+* ``spmm-dist`` — distribute ONE kernel's iteration space over the
+  same worker transports (SpDISTAL-style): row-block the output space
+  into independent sub-kernels whose operand slices are cut by the
+  conversion compiler, compute partials on leased workers, and fold
+  them through a reducing merge validated against the unpartitioned
+  oracle; row mode is byte-identical to the ``--serial`` baseline.
 * ``worker``   — attach an elastic worker to a ``queue:DIR`` pool:
   claims chunk tasks (from ``dispatch``) and compile-request tasks
   (from ``serve``) by atomic rename, heartbeats while running them,
@@ -321,6 +329,26 @@ def _cmd_batch(args) -> int:
     artifacts = list(args.artifacts)
     if "all" in artifacts:
         artifacts = list(ARTIFACT_NAMES)
+    from repro.pipeline.partition import (
+        PartitionError,
+        is_partition_artifact,
+        parse_partition,
+    )
+
+    for name in artifacts:
+        if name in ARTIFACT_NAMES:
+            continue
+        if not is_partition_artifact(name):
+            print(f"unknown artefact {name!r}; choose from "
+                  f"{list(ARTIFACT_NAMES)}, 'all', or a "
+                  f"partition:<kernel>:<dataset>:p<P>:<mode> plan",
+                  file=sys.stderr)
+            return 2
+        try:
+            parse_partition(name)
+        except PartitionError as exc:
+            print(f"batch error: {exc}", file=sys.stderr)
+            return 2
     use_cache = _use_cache(args)
 
     spec = None
@@ -441,13 +469,27 @@ def _cmd_dispatch(args) -> int:
 
     from repro.pipeline.dispatch import DispatchError, dispatch
 
+    artifact = args.artifact
+    if args.partition is not None:
+        # `dispatch table6 --partition` makes no sense: --partition
+        # reinterprets the positional as a kernel to row-block.
+        from repro.pipeline.partition import PartitionError, PartitionPlan
+
+        try:
+            plan = PartitionPlan(args.artifact, args.dataset,
+                                 args.partition, args.mode)
+        except PartitionError as exc:
+            print(f"dispatch error: {exc}", file=sys.stderr)
+            return 2
+        artifact = plan.artifact
+
     def event(message: str) -> None:
         if not args.quiet:
             print(message, file=sys.stderr)
 
     try:
         result = dispatch(
-            args.artifact, args.scale, args.workers,
+            artifact, args.scale, args.workers,
             chunks_per_worker=args.chunks_per_worker,
             lease_timeout=args.lease_timeout,
             retries=args.retries,
@@ -467,6 +509,75 @@ def _cmd_dispatch(args) -> int:
         # e.g. the transport binary (ssh) is missing or fds ran out;
         # in-flight workers were already revoked by the dispatcher.
         print(f"dispatch error: cannot launch workers over "
+              f"{args.workers}: {exc}", file=sys.stderr)
+        return 2
+    print(result.summary(), file=sys.stderr)
+    for line in result.failure_report():
+        print(line, file=sys.stderr)
+    if not result.ok:
+        return 1
+    if args.out:
+        Path(args.out).write_text(result.merged.text + "\n")
+    print(result.merged.text)
+    return 0
+
+
+def _cmd_spmm_dist(args) -> int:
+    from pathlib import Path
+
+    from repro.pipeline.partition import (
+        PartitionError,
+        PartitionPlan,
+        serial_report,
+    )
+
+    try:
+        plan = PartitionPlan(args.kernel, args.dataset, args.partition,
+                             args.mode)
+    except PartitionError as exc:
+        print(f"spmm-dist error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.serial:
+        # Unpartitioned in-process run: the byte-diff baseline.
+        try:
+            text = serial_report(args.kernel, args.dataset, args.scale,
+                                 mode=args.mode,
+                                 use_cache=_use_cache(args))
+        except PartitionError as exc:
+            print(f"spmm-dist error: {exc}", file=sys.stderr)
+            return 1
+        if args.out:
+            Path(args.out).write_text(text + "\n")
+        print(text)
+        return 0
+
+    from repro.pipeline.dispatch import DispatchError, dispatch
+
+    def event(message: str) -> None:
+        if not args.quiet:
+            print(message, file=sys.stderr)
+
+    try:
+        result = dispatch(
+            plan.artifact, args.scale, args.workers,
+            chunks_per_worker=args.chunks_per_worker,
+            lease_timeout=args.lease_timeout,
+            retries=args.retries,
+            use_cache=_use_cache(args),
+            worker_jobs=args.jobs,
+            state_dir=args.resume,
+            resume=args.resume is not None,
+            steal=args.steal,
+            min_chunk=args.min_chunk,
+            on_event=event,
+            engine=None,
+        )
+    except (DispatchError, PartitionError) as exc:
+        print(f"spmm-dist error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"spmm-dist error: cannot launch workers over "
               f"{args.workers}: {exc}", file=sys.stderr)
         return 2
     print(result.summary(), file=sys.stderr)
@@ -665,8 +776,8 @@ def main(argv: list[str] | None = None) -> int:
         "batch", help="regenerate several artefacts as one parallel batch")
     p_batch.add_argument(
         "artifacts", nargs="+",
-        choices=["table3", "table5", "table6", "figure12", "format_sweep",
-                 "pipeline_sweep", "all"])
+        help="table3/table5/table6/figure12/format_sweep/pipeline_sweep, "
+             "'all', or a partition:<kernel>:<dataset>:p<P>:<mode> plan")
     p_batch.add_argument("--scale", type=float, default=0.25)
     p_batch.add_argument("--jobs", type=int, default=None,
                          help="parallel worker count (default: REPRO_JOBS or 1)")
@@ -697,8 +808,23 @@ def main(argv: list[str] | None = None) -> int:
              "pool (chunked leases; merged output byte-identical to "
              "`tables`)")
     p_disp.add_argument("artifact",
-                        choices=["table3", "table5", "table6", "figure12",
-                                 "format_sweep", "pipeline_sweep"])
+                        help="table3/table5/table6/figure12/format_sweep/"
+                             "pipeline_sweep, a partition:<kernel>:"
+                             "<dataset>:p<P>:<mode> plan, or (with "
+                             "--partition) a kernel name to row-block")
+    p_disp.add_argument("--partition", type=int, default=None, metavar="P",
+                        help="distribute ONE kernel instead of a sweep: "
+                             "treat the positional as a kernel name and "
+                             "row-block its iteration space into P "
+                             "independent sub-kernels")
+    p_disp.add_argument("--dataset", default="bcsstk30",
+                        help="matrix dataset for --partition "
+                             "(default bcsstk30)")
+    p_disp.add_argument("--mode", choices=["row", "sum"], default="row",
+                        help="--partition split: output rows "
+                             "(byte-identical merge, default) or the "
+                             "contraction dimension (summed partials, "
+                             "oracle-validated)")
     p_disp.add_argument("--workers", default="local:2", metavar="SPEC",
                         help="transport spec: local:N subprocesses "
                              "(default local:2), ssh:host1,host2, "
@@ -739,6 +865,64 @@ def main(argv: list[str] | None = None) -> int:
                         help="workers functionally execute each "
                              "table6/format_sweep cell with this engine and "
                              "validate it against the interpreter oracle")
+
+    p_dist = sub.add_parser(
+        "spmm-dist",
+        help="distribute ONE kernel's iteration space over the worker "
+             "transports (SpDISTAL-style row blocks): slice per-block "
+             "operands, compute partials, reduce; row mode is "
+             "byte-identical to --serial")
+    p_dist.add_argument("kernel",
+                        help="partitionable kernel: SpMV or DCSR-SpMM")
+    p_dist.add_argument("--dataset", default="bcsstk30",
+                        help="matrix dataset (default bcsstk30)")
+    p_dist.add_argument("--partition", type=int, default=2, metavar="P",
+                        help="number of independent blocks (default 2)")
+    p_dist.add_argument("--mode", choices=["row", "sum"], default="row",
+                        help="split the output rows (byte-identical "
+                             "merge, default) or the contraction "
+                             "dimension (summed partials, "
+                             "oracle-validated)")
+    p_dist.add_argument("--workers", default="inline:2", metavar="SPEC",
+                        help="transport spec: inline:N in-process threads "
+                             "(default inline:2), local:N subprocesses, "
+                             "ssh:host1,host2, or queue:DIR (elastic "
+                             "pool; attach `repro worker DIR` processes "
+                             "at any time)")
+    p_dist.add_argument("--scale", type=float, default=0.25)
+    p_dist.add_argument("--serial", action="store_true",
+                        help="compute unpartitioned in-process and print "
+                             "the reference report (the byte-diff "
+                             "baseline for row mode)")
+    p_dist.add_argument("--steal", action="store_true",
+                        help="cut cost-balanced block chunks from the "
+                             "recorded per-block cost table")
+    p_dist.add_argument("--min-chunk", type=int, default=1, metavar="N",
+                        help="smallest planned chunk, in blocks "
+                             "(default 1)")
+    p_dist.add_argument("--chunks-per-worker", type=int, default=4,
+                        help="lease granularity: chunks cut per worker "
+                             "slot (default 4)")
+    p_dist.add_argument("--lease-timeout", type=float, default=900.0,
+                        help="seconds before a silent worker is presumed "
+                             "hung and its blocks reassigned "
+                             "(default 900)")
+    p_dist.add_argument("--retries", type=int, default=2,
+                        help="re-dispatches per chunk after worker death "
+                             "or block failure before quarantine "
+                             "(default 2)")
+    p_dist.add_argument("--jobs", type=int, default=None,
+                        help="worker-internal thread count (default: "
+                             "REPRO_JOBS or 1)")
+    p_dist.add_argument("--resume", metavar="DIR", default=None,
+                        help="persist per-chunk manifests under DIR and "
+                             "skip blocks a previous run completed")
+    p_dist.add_argument("--out", default=None,
+                        help="also write the report text here")
+    p_dist.add_argument("--no-cache", action="store_true",
+                        help="bypass the slice/cell partition cache")
+    p_dist.add_argument("--quiet", action="store_true",
+                        help="suppress per-lease progress on stderr")
 
     p_merge = sub.add_parser(
         "merge", help="merge shard manifests into the full artefact")
@@ -884,7 +1068,7 @@ def main(argv: list[str] | None = None) -> int:
                          help="exit 1 on malformed lines or orphaned "
                               "spans (expected only after worker kills)")
 
-    for p in (p_tab, p_batch, p_disp, p_work, p_serve, p_pipe):
+    for p in (p_tab, p_batch, p_disp, p_dist, p_work, p_serve, p_pipe):
         _add_trace_flag(p)
 
     args = parser.parse_args(argv)
@@ -902,6 +1086,7 @@ def main(argv: list[str] | None = None) -> int:
         "tables": _cmd_tables,
         "batch": _cmd_batch,
         "dispatch": _cmd_dispatch,
+        "spmm-dist": _cmd_spmm_dist,
         "worker": _cmd_worker,
         "merge": _cmd_merge,
         "formats": _cmd_formats,

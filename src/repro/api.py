@@ -31,6 +31,7 @@ from repro.service.api import (
     execute,
     first_dataset,
     load_dataset,
+    partition,
     pipeline,
 )
 
@@ -55,5 +56,6 @@ __all__ = [
     "execute",
     "first_dataset",
     "load_dataset",
+    "partition",
     "pipeline",
 ]

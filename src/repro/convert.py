@@ -274,6 +274,58 @@ def convert_tensor(
 
 
 # ---------------------------------------------------------------------------
+# Coordinate-range slicing (single-kernel partitioning)
+# ---------------------------------------------------------------------------
+
+
+def slice_rows(
+    storage: TensorStorage,
+    lo: int,
+    hi: int,
+    axis: int = 0,
+) -> TensorStorage:
+    """The sub-tensor with mode-``axis`` coordinates in ``[lo, hi)``.
+
+    Routes through the same coordinate space as the conversion
+    primitives: unpack to sorted COO, keep entries whose ``axis``
+    coordinate falls in the half-open range, rebase them to zero, and
+    re-pack into the *same* format with the sliced dimension shrunk to
+    ``hi - lo``. The row-block partitioner cuts per-worker operand
+    slices this way (CSR/DCSR row ranges for ``axis=0``, contraction
+    ranges for ``axis=1``); concatenating consecutive slices is lossless
+    because packing preserves the row-major entry order, including
+    through empty blocks and blocks ending on empty rows.
+    """
+    if not 0 <= axis < storage.order:
+        raise ConversionError(
+            f"slice axis {axis} out of range for order-{storage.order} "
+            f"storage"
+        )
+    if not 0 <= lo <= hi <= storage.dims[axis]:
+        raise ConversionError(
+            f"slice [{lo}, {hi}) out of bounds for dimension "
+            f"{storage.dims[axis]} of mode {axis}"
+        )
+    if _block_sizes(storage.fmt):
+        raise ConversionError(
+            "cannot range-slice a blocked format; convert to a flat "
+            "format first"
+        )
+    coords, vals = unpack(storage)
+    if _stores_explicit_zeros(storage.fmt):
+        keep_nz = vals != 0.0
+        coords, vals = coords[keep_nz], vals[keep_nz]
+    keep = (coords[:, axis] >= lo) & (coords[:, axis] < hi)
+    coords = coords[keep].copy()
+    vals = vals[keep]
+    if len(coords):
+        coords[:, axis] -= lo
+    dims = list(storage.dims)
+    dims[axis] = hi - lo
+    return pack(coords, vals, tuple(dims), storage.fmt)
+
+
+# ---------------------------------------------------------------------------
 # Staged dataset conversion (harness integration)
 # ---------------------------------------------------------------------------
 

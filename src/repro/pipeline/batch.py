@@ -248,7 +248,13 @@ def artifact_jobs(artifact: str, scale: float,
     """
     from repro.data.datasets import datasets_for
     from repro.kernels.suite import KERNEL_ORDER
+    from repro.pipeline.partition import is_partition_artifact, parse_partition
 
+    if is_partition_artifact(artifact):
+        # Partition pseudo-artifacts expand to one job per row block; the
+        # plan string carries the kernel/dataset/count/mode coordinates.
+        return parse_partition(artifact).jobs(scale, use_cache=use_cache,
+                                              engine=engine)
     kwargs = {"use_cache": use_cache}
     # Leave the kwarg out entirely when unset, so engine-less runs call
     # the cells exactly as they always did.
@@ -332,6 +338,10 @@ def _assemble_format_sweep(results: list[JobResult]) -> dict[str, dict[str, Any]
 
 def assemble_artifact(artifact: str, results: list[JobResult]):
     """Fold ordered job results into the artefact's data structure."""
+    from repro.pipeline.partition import is_partition_artifact, reduce_partials
+
+    if is_partition_artifact(artifact):
+        return reduce_partials(artifact, results)
     if artifact == "table6":
         return _assemble_table6(results)
     if artifact in ("format_sweep", "pipeline_sweep"):
@@ -342,7 +352,10 @@ def assemble_artifact(artifact: str, results: list[JobResult]):
 def format_artifact(artifact: str, data) -> str:
     """Render an artefact with the harness's formatter."""
     from repro.eval import harness
+    from repro.pipeline.partition import format_partition, is_partition_artifact
 
+    if is_partition_artifact(artifact):
+        return format_partition(data)
     formatter = {
         "table3": harness.format_table3,
         "table5": harness.format_table5,

@@ -686,9 +686,12 @@ def dispatch(
     start = time.perf_counter()
     if isinstance(transport, str):
         transport = parse_transport(transport)
-    if artifact not in ARTIFACT_NAMES:
+    from repro.pipeline.partition import is_partition_artifact
+
+    if artifact not in ARTIFACT_NAMES and not is_partition_artifact(artifact):
         raise DispatchError(
-            f"unknown artefact {artifact!r}; choose from {ARTIFACT_NAMES}")
+            f"unknown artefact {artifact!r}; choose from {ARTIFACT_NAMES} "
+            f"or a partition:* plan")
     events = on_event if on_event is not None else (lambda _msg: None)
 
     state_path: Path | None = None

@@ -181,7 +181,7 @@ class QueueTransport:
         """
         for directory in (self.queue_dir, self.claimed_dir, self.results_dir):
             directory.mkdir(parents=True, exist_ok=True)
-            for pattern in ("chunk-*", "req-*"):
+            for pattern in ("chunk-*", "part-*", "req-*"):
                 for path in directory.glob(pattern):
                     try:
                         path.unlink()
@@ -194,24 +194,36 @@ class QueueTransport:
 
     # -- dispatcher side ----------------------------------------------------
 
-    def _task_name(self, index: int, attempt: int) -> str:
-        return f"chunk-{index:04d}-a{attempt}.json"
+    def _task_name(self, index: int, attempt: int,
+                   prefix: str = "chunk") -> str:
+        return f"{prefix}-{index:04d}-a{attempt}.json"
 
     def enqueue(self, index: int, attempt: int, payload: dict) -> None:
-        """Publish one chunk attempt as a pending task file."""
+        """Publish one chunk attempt as a pending task file.
+
+        Blocks of a partitioned single kernel publish as ``part-*``
+        tasks (the payload's artefact is a ``partition:*`` plan), so a
+        queue listing distinguishes sweep chunks from kernel blocks;
+        both kinds flow through the same claim/lease/result machinery.
+        """
+        from repro.pipeline.partition import is_partition_artifact
+
+        prefix = ("part" if is_partition_artifact(payload.get("artifact", ""))
+                  else "chunk")
         task = {"format": TASK_FORMAT, "chunk": index, "attempt": attempt,
                 "compiler": compiler_version(), **payload}
-        _atomic_write(self.queue_dir / self._task_name(index, attempt),
+        _atomic_write(self.queue_dir / self._task_name(index, attempt, prefix),
                       json.dumps(task, indent=2) + "\n")
 
     def withdraw(self, index: int) -> None:
         """Remove every pending/claimed file of a chunk (done or lost)."""
         for directory in (self.queue_dir, self.claimed_dir):
-            for path in directory.glob(f"chunk-{index:04d}-*"):
-                try:
-                    path.unlink()
-                except OSError:
-                    pass  # a worker claimed/finished it concurrently
+            for prefix in ("chunk", "part"):
+                for path in directory.glob(f"{prefix}-{index:04d}-*"):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass  # a worker claimed/finished it concurrently
 
     def collect(self) -> list[tuple[int, str, Path]]:
         """New result files as ``(chunk index, manifest text, path)``.
@@ -222,7 +234,8 @@ class QueueTransport:
         served almost entirely from the staged cache.
         """
         out = []
-        for path in sorted(self.results_dir.glob("chunk-*.json")):
+        for path in sorted(self.results_dir.glob("chunk-*.json")) + sorted(
+                self.results_dir.glob("part-*.json")):
             try:
                 index = int(path.name.split("-")[1])
                 out.append((index, path.read_text(), path))
@@ -276,11 +289,12 @@ class QueueTransport:
     def expired_leases(self, lease_timeout: float) -> list[int]:
         """Chunk indexes whose claims went silent past the lease, revoked."""
         revoked = []
-        for name in self._expired_claims("chunk-", lease_timeout):
-            try:
-                revoked.append(int(name.split("-")[1]))
-            except (ValueError, IndexError):
-                continue
+        for prefix in ("chunk-", "part-"):
+            for name in self._expired_claims(prefix, lease_timeout):
+                try:
+                    revoked.append(int(name.split("-")[1]))
+                except (ValueError, IndexError):
+                    continue
         return sorted(set(revoked))
 
     # -- compile-request tasks (the ``repro serve`` miss path) --------------
@@ -338,8 +352,11 @@ class QueueTransport:
 
     def pending_counts(self) -> tuple[int, int]:
         """(queued, claimed) task file counts, for progress events."""
-        return (len(list(self.queue_dir.glob("chunk-*.json"))),
-                len(list(self.claimed_dir.glob("chunk-*"))))
+        queued = (len(list(self.queue_dir.glob("chunk-*.json")))
+                  + len(list(self.queue_dir.glob("part-*.json"))))
+        claimed = (len(list(self.claimed_dir.glob("chunk-*")))
+                   + len(list(self.claimed_dir.glob("part-*"))))
+        return (queued, claimed)
 
     def drain(self) -> None:
         """Drop leftover tasks and claims, but keep workers attached.
@@ -349,7 +366,7 @@ class QueueTransport:
         artefact; only :meth:`shutdown` releases the workers.
         """
         for directory in (self.queue_dir, self.claimed_dir):
-            for pattern in ("chunk-*", "req-*"):
+            for pattern in ("chunk-*", "part-*", "req-*"):
                 for path in directory.glob(pattern):
                     try:
                         path.unlink()
@@ -453,9 +470,10 @@ def worker_loop(
         task = None
         try:
             # Serve requests are latency-sensitive; claim them before
-            # sweep chunks.
+            # sweep chunks and partitioned kernel blocks.
             candidates = (sorted(transport.queue_dir.glob("req-*.json"))
-                          + sorted(transport.queue_dir.glob("chunk-*.json")))
+                          + sorted(transport.queue_dir.glob("chunk-*.json"))
+                          + sorted(transport.queue_dir.glob("part-*.json")))
         except OSError:
             candidates = []
         for path in candidates:
@@ -566,9 +584,12 @@ def worker_loop(
                 result_text = json.dumps(
                     {"format": ERROR_FORMAT, "chunk": task["chunk"],
                      "error": error}) + "\n"
+            # Mirror the claimed task's prefix (chunk-* sweep slices,
+            # part-* partition blocks) so collect() pairs them back up.
+            task_prefix = claimed.name.partition("-")[0]
             result_path = (transport.results_dir /
-                           f"chunk-{task['chunk']:04d}-a{task['attempt']}"
-                           f".{wid}.json")
+                           f"{task_prefix}-{task['chunk']:04d}"
+                           f"-a{task['attempt']}.{wid}.json")
 
         if revoked.is_set():
             _trace.event("lease.revoked", task=label, worker=wid)

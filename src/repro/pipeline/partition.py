@@ -1,0 +1,472 @@
+"""Single-kernel distribution: SpDISTAL-style row-block partitioning.
+
+The dispatcher (:mod:`repro.pipeline.dispatch`) shards *job lists*: each
+job is one whole (kernel, dataset) cell, so a single large kernel is
+still bounded by what one worker holds. SpDISTAL (Yadav et al.) removes
+that ceiling by compiling *one* sparse computation into distributed
+pieces. This module reproduces that capability for the matrix products
+the evaluation runs end-to-end (CSR SpMV, DCSR SpMM):
+
+* :class:`PartitionPlan` row-blocks the output iteration space of one
+  kernel into ``count`` independent sub-kernels. Each block's sparse
+  operand slice is cut by the conversion compiler's coordinate
+  primitives (:func:`repro.convert.slice_rows`) from the staged full
+  matrix and memoized under the new ``partition`` cache stage; dense
+  operands are broadcast by reference (regenerated deterministically
+  from the seed, never shipped).
+* The plan is addressed as a **pseudo-artifact** string
+  ``partition:<kernel>:<dataset>:p<P>:<mode>`` that flows wholesale
+  through the batch/shard/dispatch machinery: ``artifact_jobs`` expands
+  it to per-block jobs, shard manifests carry the block payloads, and
+  the fault-tolerant transports (``inline:N``, ``local:N``,
+  ``queue:DIR``) lease blocks exactly like sweep chunks — including
+  lease expiry, work-steal tail chunking and ``--resume``.
+* Partial outputs fold through a **reducing merge**
+  (:func:`reduce_partials`): row-partitioned blocks concatenate (the
+  merged array is byte-identical to the unpartitioned run because each
+  row's dot product sees exactly the same operand subarrays in the same
+  order); contraction-split (``sum`` mode) partials are summed, which
+  reassociates the reduction, so they are validated cell-by-cell
+  against the unpartitioned oracle instead of byte-compared.
+
+Two partition modes:
+
+``row``
+    Split the output rows ``i``. Block ``b`` computes rows ``[lo, hi)``
+    from the row slice ``A[lo:hi]`` and the full dense operand.
+    Deterministic and byte-identical to serial by construction.
+``sum``
+    Split the contraction dimension ``k``. Every block computes a full-
+    shape partial from column slice ``A[:, lo:hi]`` and dense rows
+    ``[lo, hi)``; the reduce sums partials. Float results differ from
+    serial only by reduction order (tolerance-validated).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+
+import numpy as np
+
+from repro import obs
+from repro.pipeline.cache import memoize_stage
+
+__all__ = [
+    "PARTITION_FORMATS",
+    "PARTITION_MODES",
+    "PARTITION_PREFIX",
+    "PARTITION_SEED",
+    "PartitionError",
+    "PartitionPlan",
+    "block_range",
+    "format_partition",
+    "is_partition_artifact",
+    "parse_partition",
+    "partition_artifact",
+    "partition_cell",
+    "reduce_partials",
+    "serial_report",
+]
+
+#: Artefact-namespace prefix for partition pseudo-artifacts.
+PARTITION_PREFIX = "partition:"
+
+#: Supported iteration-space splits.
+PARTITION_MODES = ("row", "sum")
+
+#: Partitionable kernels and the format their sparse operand stages in.
+PARTITION_FORMATS = {"SpMV": "csr", "DCSR-SpMM": "dcsr"}
+
+#: Dataset seed (the harness's fixed evaluation seed).
+PARTITION_SEED = 7
+
+#: Dense second-operand rank for SpMM (mirrors the harness's FACTOR_RANK
+#: clamp in :func:`repro.data.datasets._shape_for`).
+_FACTOR_RANK = 16
+
+
+class PartitionError(ValueError):
+    """A partition plan is malformed or its partials do not reduce."""
+
+
+# ---------------------------------------------------------------------------
+# Pseudo-artifact naming
+# ---------------------------------------------------------------------------
+
+
+def is_partition_artifact(name: str) -> bool:
+    """True for ``partition:<kernel>:<dataset>:p<P>:<mode>`` strings."""
+    return isinstance(name, str) and name.startswith(PARTITION_PREFIX)
+
+
+def partition_artifact(kernel: str, dataset: str, count: int,
+                       mode: str = "row") -> str:
+    """The pseudo-artifact string addressing one partition plan."""
+    return f"{PARTITION_PREFIX}{kernel}:{dataset}:p{count}:{mode}"
+
+
+@dataclasses.dataclass(frozen=True)
+class PartitionPlan:
+    """Row-block decomposition of one kernel into ``count`` sub-kernels."""
+
+    kernel: str
+    dataset: str
+    count: int
+    mode: str = "row"
+
+    def __post_init__(self) -> None:
+        if self.kernel not in PARTITION_FORMATS:
+            raise PartitionError(
+                f"kernel {self.kernel!r} is not partitionable; choose from "
+                f"{sorted(PARTITION_FORMATS)}"
+            )
+        if self.mode not in PARTITION_MODES:
+            raise PartitionError(
+                f"unknown partition mode {self.mode!r}; choose from "
+                f"{PARTITION_MODES}"
+            )
+        if self.count < 1:
+            raise PartitionError(
+                f"partition count must be >= 1, got {self.count}"
+            )
+        from repro.data.datasets import DATASETS_BY_NAME
+
+        dspec = DATASETS_BY_NAME.get(self.dataset)
+        if dspec is None or dspec.kind != "matrix":
+            raise PartitionError(
+                f"{self.dataset!r} is not a matrix dataset; partitioning "
+                f"needs one"
+            )
+
+    @property
+    def artifact(self) -> str:
+        return partition_artifact(self.kernel, self.dataset, self.count,
+                                  self.mode)
+
+    @property
+    def format_name(self) -> str:
+        return PARTITION_FORMATS[self.kernel]
+
+    def jobs(self, scale: float, use_cache: bool | None = None,
+             engine: str | None = None) -> list:
+        """One executor job per block (keys feed the steal cost table)."""
+        from repro.pipeline.executor import Job
+
+        kwargs: dict = {"use_cache": use_cache}
+        if engine is not None:
+            kwargs["engine"] = engine
+        return [
+            Job((self.kernel, self.dataset,
+                 f"part{index}of{self.count}:{self.mode}"),
+                partition_cell,
+                (self.kernel, self.dataset, self.mode, index, self.count,
+                 scale),
+                dict(kwargs))
+            for index in range(self.count)
+        ]
+
+
+def parse_partition(name: str) -> PartitionPlan:
+    """Parse a pseudo-artifact string back into its plan."""
+    if not is_partition_artifact(name):
+        raise PartitionError(f"not a partition artefact: {name!r}")
+    parts = name[len(PARTITION_PREFIX):].split(":")
+    if len(parts) != 4 or not parts[2].startswith("p"):
+        raise PartitionError(
+            f"malformed partition artefact {name!r}; expected "
+            f"partition:<kernel>:<dataset>:p<P>:<mode>"
+        )
+    kernel, dataset, count_spec, mode = parts
+    try:
+        count = int(count_spec[1:])
+    except ValueError:
+        raise PartitionError(
+            f"malformed partition count {count_spec!r} in {name!r}"
+        ) from None
+    return PartitionPlan(kernel, dataset, count, mode)
+
+
+def block_range(extent: int, count: int, index: int) -> tuple[int, int]:
+    """Half-open range of block ``index`` in an even split of ``extent``.
+
+    The first ``extent % count`` blocks take one extra element; blocks
+    past the extent are empty (``lo == hi``), which slices and reduces
+    losslessly.
+    """
+    if not 0 <= index < count:
+        raise PartitionError(f"block {index} outside plan of {count}")
+    base, rem = divmod(extent, count)
+    lo = index * base + min(index, rem)
+    hi = lo + base + (1 if index < rem else 0)
+    return lo, hi
+
+
+# ---------------------------------------------------------------------------
+# Operands
+# ---------------------------------------------------------------------------
+
+
+def _full_storage(plan: PartitionPlan, scale: float,
+                  use_cache: bool | None = None):
+    """The full sparse operand, staged once per (dataset, format)."""
+    from repro.convert import staged_matrix_storage
+
+    return staged_matrix_storage(plan.dataset, scale, PARTITION_SEED,
+                                 plan.format_name, use_cache)
+
+
+def _dense_operand(kernel: str, dims: tuple[int, ...]) -> np.ndarray:
+    """The dense operand, regenerated deterministically from the seed.
+
+    Blocks broadcast this by reference: every worker rebuilds the same
+    array from (kernel, dims, seed) instead of shipping it, the same way
+    the dataset stage regenerates matrices from their spec.
+    """
+    rng = np.random.default_rng(PARTITION_SEED)
+    if kernel == "SpMV":
+        return rng.random(dims[1])
+    r = max(4, min(_FACTOR_RANK, dims[0]))
+    return rng.random((dims[1], r))
+
+
+def _rowwise_product(coords: np.ndarray, vals: np.ndarray, nrows: int,
+                     dense: np.ndarray) -> np.ndarray:
+    """Per-row dot products of sparse rows against a dense operand.
+
+    One ``np.dot`` per stored row over that row's (vals, cols) slice.
+    Because a row block sees exactly the same per-row subarrays as the
+    full matrix, block results are bitwise equal to the serial run's.
+    """
+    out = np.zeros((nrows,) + dense.shape[1:], dtype=np.float64)
+    if len(vals):
+        rows = coords[:, 0]
+        cols = coords[:, 1]
+        bounds = np.searchsorted(rows, np.arange(nrows + 1))
+        for i in range(nrows):
+            s, e = bounds[i], bounds[i + 1]
+            if s < e:
+                out[i] = vals[s:e] @ dense[cols[s:e]]
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Per-block cell (top-level, so process pools and queue workers pickle it)
+# ---------------------------------------------------------------------------
+
+
+def partition_cell(kernel: str, dataset: str, mode: str, index: int,
+                   count: int, scale: float,
+                   use_cache: bool | None = None,
+                   engine: str | None = None) -> dict:
+    """Compute one block's partial output (JSON-safe payload).
+
+    The operand slice and the block result each memoize under the
+    ``partition`` stage, so a re-leased block (worker death, retry) is
+    answered from the cache by whichever worker computed it first.
+    ``engine`` is accepted for dispatch signature-compatibility; the
+    block product is its own vectorized path.
+    """
+    del engine  # blocks compute row-wise regardless of sweep engine
+    plan = PartitionPlan(kernel, dataset, count, mode)
+    from repro.convert import slice_rows
+    from repro.tensor.storage import unpack
+
+    full = _full_storage(plan, scale, use_cache)
+    dims = full.dims
+    axis = 0 if mode == "row" else 1
+    lo, hi = block_range(dims[axis], count, index)
+
+    with obs.span("partition:slice", kernel=kernel, dataset=dataset,
+                  mode=mode, block=index, count=count) as sp:
+        sliced = memoize_stage(
+            "partition",
+            ("slice", kernel, dataset, scale, PARTITION_SEED, mode, index,
+             count),
+            lambda: slice_rows(full, lo, hi, axis=axis),
+            use_cache,
+        )
+        sp.set(lo=lo, hi=hi, nnz=int(sliced.nnz))
+    obs.counter("repro_partition_blocks_total",
+                "Partition blocks sliced and computed").inc()
+
+    def compute() -> dict:
+        dense = _dense_operand(kernel, dims)
+        coords, vals = unpack(sliced)
+        with obs.span("partition:compute", kernel=kernel, dataset=dataset,
+                      mode=mode, block=index, nnz=int(sliced.nnz)):
+            if mode == "row":
+                partial = _rowwise_product(coords, vals, hi - lo, dense)
+            else:
+                # Contraction split: full-shape partial from the column
+                # slice and the matching dense rows.
+                partial = _rowwise_product(coords, vals, dims[0],
+                                           dense[lo:hi])
+        return {
+            "kernel": kernel, "dataset": dataset, "mode": mode,
+            "block": index, "count": count, "lo": lo, "hi": hi,
+            "scale": scale, "seed": PARTITION_SEED,
+            "nnz": int(sliced.nnz), "shape": list(partial.shape),
+            "values": partial.tolist(),
+        }
+
+    return memoize_stage(
+        "partition",
+        ("cell", kernel, dataset, scale, PARTITION_SEED, mode, index, count),
+        compute, use_cache,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Reducing merge + oracle validation
+# ---------------------------------------------------------------------------
+
+
+def _oracle(plan: PartitionPlan, scale: float, shape: tuple[int, ...],
+            use_cache: bool | None = None) -> np.ndarray:
+    """Unpartitioned reference computed by an *independent* accumulation.
+
+    ``np.add.at`` scatters every nonzero's contribution in storage order
+    — a different association of the same sums than the per-row dots —
+    so agreement genuinely cross-checks the partition arithmetic.
+    """
+    from repro.tensor.storage import unpack
+
+    full = _full_storage(plan, scale, use_cache)
+    coords, vals = unpack(full)
+    dense = _dense_operand(plan.kernel, full.dims)
+    oracle = np.zeros(shape, dtype=np.float64)
+    if len(vals):
+        contrib = (vals[:, None] * dense[coords[:, 1]]
+                   if dense.ndim == 2 else vals * dense[coords[:, 1]])
+        np.add.at(oracle, coords[:, 0], contrib)
+    return oracle
+
+
+def _validate_against_oracle(plan: PartitionPlan, scale: float,
+                             out: np.ndarray,
+                             use_cache: bool | None = None) -> float:
+    oracle = _oracle(plan, scale, out.shape, use_cache)
+    maxerr = float(np.max(np.abs(out - oracle))) if out.size else 0.0
+    tol = 1e-8 * max(1.0, float(np.max(np.abs(oracle))) if out.size else 1.0)
+    if maxerr > tol:
+        raise PartitionError(
+            f"{plan.artifact}: merged output disagrees with the "
+            f"unpartitioned oracle (max |err| {maxerr:.3e} > tol {tol:.3e})"
+        )
+    return maxerr
+
+
+def reduce_partials(artifact: str, results: list) -> dict:
+    """Fold per-block partials into the merged output (reducing merge).
+
+    Row-partitioned blocks concatenate in block order; contraction-split
+    partials sum. Either way the merged array is validated cell-by-cell
+    against the unpartitioned oracle before a report is built.
+    """
+    plan = parse_partition(artifact)
+    partials = sorted((res.unwrap() for res in results),
+                      key=lambda p: p["block"])
+    if [p["block"] for p in partials] != list(range(plan.count)):
+        raise PartitionError(
+            f"{artifact}: expected blocks 0..{plan.count - 1}, got "
+            f"{[p['block'] for p in partials]}"
+        )
+    scale = partials[0]["scale"]
+    with obs.span("partition:reduce", artifact=artifact, mode=plan.mode,
+                  blocks=plan.count) as sp:
+        arrays = [np.asarray(p["values"], dtype=np.float64).reshape(
+            tuple(p["shape"])) for p in partials]
+        if plan.mode == "row":
+            edges = [(p["lo"], p["hi"]) for p in partials]
+            for (lo, hi), (nlo, _) in zip(edges, edges[1:]):
+                if hi != nlo:
+                    raise PartitionError(
+                        f"{artifact}: row blocks are not contiguous at "
+                        f"[{lo}, {hi}) -> [{nlo}, ...)"
+                    )
+            out = np.concatenate(arrays, axis=0)
+        else:
+            out = arrays[0]
+            for arr in arrays[1:]:
+                out = out + arr
+        nnz_total = sum(p["nnz"] for p in partials)
+        full = _full_storage(plan, scale)
+        if nnz_total != int(full.nnz):
+            raise PartitionError(
+                f"{artifact}: blocks cover {nnz_total} nonzeros but the "
+                f"full operand holds {int(full.nnz)} (lost or duplicated "
+                f"work)"
+            )
+        maxerr = _validate_against_oracle(plan, scale, out)
+        sp.set(nnz=nnz_total, maxerr=maxerr)
+    obs.counter("repro_partition_reduces_total",
+                "Partition reducing merges performed").inc()
+    return _report_data(plan, scale, out, nnz_total, maxerr)
+
+
+def _report_data(plan: PartitionPlan, scale: float, out: np.ndarray,
+                 nnz_total: int, maxerr: float) -> dict:
+    """The artefact data dict (shared by merged and serial paths).
+
+    Deliberately excludes the block count: a row-mode report depends
+    only on the merged array, so serial and any ``P`` byte-diff equal.
+    """
+    flat = out.reshape(-1)
+    samples = {}
+    if flat.size:
+        for label, idx in (("first", 0), ("mid", flat.size // 2),
+                           ("last", flat.size - 1)):
+            samples[label] = repr(float(flat[idx]))
+    return {
+        "kernel": plan.kernel,
+        "dataset": plan.dataset,
+        "mode": plan.mode,
+        "scale": repr(float(scale)),
+        "shape": list(out.shape),
+        "nnz": nnz_total,
+        "sha256": hashlib.sha256(out.tobytes()).hexdigest(),
+        "sum": repr(float(flat.sum())),
+        "samples": samples,
+        "oracle_maxerr": repr(maxerr),
+    }
+
+
+def format_partition(data: dict) -> str:
+    """Render the partition report (the dispatch/serial comparison surface)."""
+    lines = [
+        f"# distributed kernel: {data['kernel']} on {data['dataset']} "
+        f"(scale {data['scale']}, mode {data['mode']})",
+        f"output shape = {tuple(data['shape'])}",
+        f"operand nnz  = {data['nnz']}",
+        f"sha256       = {data['sha256']}",
+        f"sum          = {data['sum']}",
+    ]
+    for label, value in data["samples"].items():
+        lines.append(f"sample {label:<5} = {value}")
+    lines.append(f"oracle maxerr = {data['oracle_maxerr']}")
+    return "\n".join(lines)
+
+
+def serial_report(kernel: str, dataset: str, scale: float,
+                  mode: str = "row",
+                  use_cache: bool | None = None) -> str:
+    """The unpartitioned run's report text (the byte-identity reference).
+
+    Computes the full product in-process with the same per-row dots the
+    blocks use, validates it against the oracle, and renders the same
+    report — so ``diff`` against any row-partitioned dispatch is empty.
+    """
+    from repro.tensor.storage import unpack
+
+    plan = PartitionPlan(kernel, dataset, 1, mode)
+    full = _full_storage(plan, scale, use_cache)
+    dense = _dense_operand(kernel, full.dims)
+    coords, vals = unpack(full)
+    with obs.span("partition:compute", kernel=kernel, dataset=dataset,
+                  mode=mode, block=0, nnz=int(full.nnz)):
+        out = _rowwise_product(coords, vals, full.dims[0], dense)
+    maxerr = _validate_against_oracle(plan, scale, out, use_cache)
+    return format_partition(
+        _report_data(plan, scale, out, int(full.nnz), maxerr)
+    )

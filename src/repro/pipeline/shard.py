@@ -188,6 +188,10 @@ def encode_result(artifact: str, value: Any) -> Any:
         return dict(value)
     if artifact == "pipeline_sweep":  # plain fusion-report dict per cell
         return dict(value)
+    from repro.pipeline.partition import is_partition_artifact
+
+    if is_partition_artifact(artifact):  # per-block partial (already JSON-safe)
+        return dict(value)
     raise KeyError(
         f"unknown artefact {artifact!r}; choose from {ARTIFACT_NAMES}"
     )
@@ -215,6 +219,10 @@ def decode_result(artifact: str, payload: Any) -> Any:
     if artifact == "format_sweep":
         return dict(payload)
     if artifact == "pipeline_sweep":
+        return dict(payload)
+    from repro.pipeline.partition import is_partition_artifact
+
+    if is_partition_artifact(artifact):
         return dict(payload)
     raise KeyError(
         f"unknown artefact {artifact!r}; choose from {ARTIFACT_NAMES}"
@@ -287,10 +295,13 @@ class ShardManifest:
                                "total_jobs", "jobs") if f not in data]
         if missing:
             raise ManifestError(f"{source}: missing field(s) {missing}")
-        if data["artifact"] not in ARTIFACT_NAMES:
+        from repro.pipeline.partition import is_partition_artifact
+
+        if (data["artifact"] not in ARTIFACT_NAMES
+                and not is_partition_artifact(data["artifact"])):
             raise ManifestError(
                 f"{source}: unknown artefact {data['artifact']!r}; "
-                f"expected one of {ARTIFACT_NAMES}"
+                f"expected one of {ARTIFACT_NAMES} or a partition:* plan"
             )
         shard = data["shard"]
         try:
@@ -474,16 +485,19 @@ def merge_manifests(
             f"--allow-stale-compiler to merge anyway)"
         )
 
-    # Failures, duplicates, and malformed payloads name the originating
-    # chunk (the full spec — explicit-index chunks from the work-stealing
-    # planner or a queue worker are not identified by I/N alone), so a
-    # refused queue-mode merge is attributable to the worker that
-    # produced the offending manifest.
+    # Failures, duplicates, and malformed payloads name the artefact and
+    # the originating chunk (the full spec — explicit-index chunks from
+    # the work-stealing planner or a queue worker are not identified by
+    # I/N alone), so a refused merge in a multi-artefact dispatch is
+    # attributable to both the sweep and the worker that produced the
+    # offending manifest.
     failed = [(entry, m.shard) for m in manifests for entry in m.failures()]
     if failed:
         keys = [f"{':'.join(map(str, entry['key']))} (chunk {shard})"
                 for entry, shard in failed]
-        raise MergeError(f"cannot merge failed job(s): {keys}")
+        raise MergeError(
+            f"cannot merge failed job(s) for artefact {artifact}: {keys}"
+        )
 
     collected: dict[tuple, Any] = {}
     origin: dict[tuple, ShardSpec] = {}
@@ -492,16 +506,16 @@ def merge_manifests(
             key = tuple(entry["key"])
             if key in collected:
                 raise MergeError(
-                    f"duplicate job {':'.join(map(str, key))} "
-                    f"(chunks {origin[key]} and {manifest.shard})"
+                    f"duplicate job {':'.join(map(str, key))} in artefact "
+                    f"{artifact} (chunks {origin[key]} and {manifest.shard})"
                 )
             try:
                 collected[key] = decode_result(artifact, entry["value"])
             except (KeyError, TypeError, AttributeError, ValueError) as exc:
                 raise MergeError(
                     f"malformed result payload for job "
-                    f"{':'.join(map(str, key))} (chunk {manifest.shard}): "
-                    f"{exc!r}"
+                    f"{':'.join(map(str, key))} in artefact {artifact} "
+                    f"(chunk {manifest.shard}): {exc!r}"
                 ) from None
             origin[key] = manifest.shard
 
@@ -510,8 +524,8 @@ def merge_manifests(
     missing = [k for k in expected_keys if k not in collected]
     if missing:
         raise MergeError(
-            f"missing job(s) (incomplete shard set?): "
-            f"{[':'.join(map(str, k)) for k in missing]}"
+            f"missing job(s) for artefact {artifact} (incomplete shard "
+            f"set?): {[':'.join(map(str, k)) for k in missing]}"
         )
     unexpected = sorted(set(collected) - set(expected_keys))
     if unexpected:

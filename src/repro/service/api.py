@@ -57,6 +57,7 @@ __all__ = [
     "execute",
     "first_dataset",
     "load_dataset",
+    "partition",
     "pipeline",
 ]
 
@@ -69,8 +70,10 @@ DEFAULT_SEED = 7
 #: Request verbs: ``compile`` renders the kernel (source, LoC, memory
 #: plan); ``evaluate`` predicts per-platform runtimes (Table 6 cells);
 #: ``pipeline`` plans and runs a fused expression pipeline (the
-#: ``kernel`` field carries the pipeline name).
-ACTIONS = ("compile", "evaluate", "pipeline")
+#: ``kernel`` field carries the pipeline name); ``partition`` row-blocks
+#: one kernel into ``partition`` sub-kernels and reduces the partials
+#: (SpDISTAL-style single-kernel distribution).
+ACTIONS = ("compile", "evaluate", "pipeline", "partition")
 
 PLATFORMS = (
     "Capstan (Ideal)",
@@ -100,7 +103,7 @@ class EngineMismatchError(AssertionError):
 # ---------------------------------------------------------------------------
 
 _REQUEST_FIELDS = ("action", "kernel", "dataset", "scale", "seed",
-                   "platforms", "engine", "fuse")
+                   "platforms", "engine", "fuse", "partition", "split")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -124,6 +127,8 @@ class CompileRequest:
     engine: str | None = None
     action: str = "evaluate"
     fuse: bool = True
+    partition: int = 1
+    split: str = "row"
 
     def resolved(self) -> CompileRequest:
         """Defaults filled in and every field validated.
@@ -141,6 +146,8 @@ class CompileRequest:
                 f"unknown action {self.action!r}; choose from {ACTIONS}")
         if self.action == "pipeline":
             return self._resolved_pipeline()
+        if self.action == "partition":
+            return self._resolved_partition()
         if self.kernel not in KERNELS:
             raise ValueError(
                 f"unknown kernel {self.kernel!r}; choose from "
@@ -196,6 +203,49 @@ class CompileRequest:
                                    seed=int(self.seed), platforms=None,
                                    fuse=bool(self.fuse))
 
+    def _resolved_partition(self) -> CompileRequest:
+        """Resolution for partition requests: the kernel must be
+        row-partitionable and the dataset one of its matrix datasets;
+        ``partition`` is the block count and ``split`` the iteration-
+        space dimension (``row`` or ``sum``)."""
+        from repro.data.datasets import datasets_for
+        from repro.pipeline.partition import PARTITION_FORMATS, PARTITION_MODES
+
+        if self.kernel not in PARTITION_FORMATS:
+            raise ValueError(
+                f"kernel {self.kernel!r} is not partitionable; choose from "
+                f"{sorted(PARTITION_FORMATS)}")
+        specs = datasets_for(self.kernel)
+        dataset = self.dataset if self.dataset is not None else specs[0].name
+        if dataset not in {d.name for d in specs}:
+            raise ValueError(
+                f"unknown dataset {dataset!r} for {self.kernel}; choose "
+                f"from {[d.name for d in specs]}")
+        scale = DEFAULT_SCALE if self.scale is None else float(self.scale)
+        if not scale > 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        try:
+            count = int(self.partition)
+        except (TypeError, ValueError):
+            raise ValueError("'partition' must be an integer") from None
+        if count < 1:
+            raise ValueError(f"partition count must be >= 1, got {count}")
+        if self.split not in PARTITION_MODES:
+            raise ValueError(
+                f"unknown split {self.split!r}; choose from "
+                f"{PARTITION_MODES}")
+        if int(self.seed) != DEFAULT_SEED:
+            raise ValueError(
+                f"partition requests run on the fixed evaluation seed "
+                f"{DEFAULT_SEED}, got {self.seed}")
+        # The block product is its own vectorized path: engine and
+        # platform filters do not change its result, so canonicalise
+        # them away like compile does.
+        return dataclasses.replace(self, dataset=dataset, scale=scale,
+                                   seed=DEFAULT_SEED, platforms=None,
+                                   engine=None, fuse=True,
+                                   partition=count)
+
     def canonical(self) -> dict[str, Any]:
         """The defaults-resolved request as a plain JSON-able dict."""
         r = self.resolved()
@@ -208,11 +258,15 @@ class CompileRequest:
             "platforms": list(r.platforms) if r.platforms is not None else None,
             "engine": r.engine,
         }
-        # Only pipeline requests carry a fuse flag on the wire, so the
-        # canonical form (and hence every cache key) of compile/evaluate
-        # requests is byte-identical to what it was before pipelines.
+        # Only pipeline requests carry a fuse flag on the wire, and only
+        # partition requests carry a block count and split, so the
+        # canonical form (and hence every cache key) of the other
+        # actions is byte-identical to what it was before each feature.
         if r.action == "pipeline":
             out["fuse"] = r.fuse
+        if r.action == "partition":
+            out["partition"] = r.partition
+            out["split"] = r.split
         return out
 
     def canonical_json(self) -> str:
@@ -230,6 +284,8 @@ class CompileRequest:
         """The cache stage the request's result is memoized under."""
         if self.action == "pipeline":
             return "pipeline"
+        if self.action == "partition":
+            return "partition"
         return "evaluate" if self.action == "evaluate" else "compile"
 
     @classmethod
@@ -259,6 +315,12 @@ class CompileRequest:
         fuse = data.get("fuse", True)
         if not isinstance(fuse, bool):
             raise ValueError("'fuse' must be a boolean")
+        partition = data.get("partition", 1)
+        if isinstance(partition, bool) or not isinstance(partition, int):
+            raise ValueError("'partition' must be an integer block count")
+        split = data.get("split", "row")
+        if not isinstance(split, str):
+            raise ValueError("'split' must be a string")
         return cls(
             kernel=str(data["kernel"]),
             dataset=(str(data["dataset"])
@@ -270,6 +332,8 @@ class CompileRequest:
                     if data.get("engine") is not None else None),
             action=str(data.get("action", "evaluate")),
             fuse=fuse,
+            partition=partition,
+            split=split,
         )
 
     @classmethod
@@ -319,6 +383,7 @@ class CompileResult:
     input_loc: int | None = None
     memory_report: str | None = None
     pipeline: dict[str, Any] | None = None
+    partition: dict[str, Any] | None = None
 
     def platform_times(self) -> PlatformTimes:
         """The evaluate payload as the harness's :class:`PlatformTimes`."""
@@ -340,6 +405,8 @@ class CompileResult:
             "memory_report": self.memory_report,
             "pipeline": (dict(self.pipeline)
                          if self.pipeline is not None else None),
+            "partition": (dict(self.partition)
+                          if self.partition is not None else None),
         }
 
     def to_json(self) -> str:
@@ -358,6 +425,7 @@ class CompileResult:
             input_loc=data.get("input_loc"),
             memory_report=data.get("memory_report"),
             pipeline=data.get("pipeline"),
+            partition=data.get("partition"),
         )
 
 
@@ -611,6 +679,40 @@ def pipeline(request: CompileRequest,
                          use_cache)
 
 
+def partition(request: CompileRequest,
+              use_cache: bool | None = None) -> CompileResult:
+    """Row-block one kernel into sub-kernels and reduce the partials.
+
+    The request's ``partition`` field is the block count and ``split``
+    the dimension to cut (``row`` concatenates output blocks, ``sum``
+    splits the contraction and sums partials). Blocks run inline on the
+    executor's thread pool; the dispatcher offers the same plan over any
+    transport as the ``partition:*`` pseudo-artifact. Memoized under the
+    ``partition`` stage on the request's canonical JSON.
+    """
+    from repro.pipeline.cache import memoize_stage
+    from repro.pipeline.executor import run_jobs
+    from repro.pipeline.partition import (
+        PartitionPlan,
+        format_partition,
+        reduce_partials,
+    )
+
+    req = dataclasses.replace(request, action="partition").resolved()
+
+    def compute() -> CompileResult:
+        plan = PartitionPlan(req.kernel, req.dataset, req.partition,
+                             req.split)
+        results = run_jobs(plan.jobs(req.scale, use_cache=use_cache))
+        data = reduce_partials(plan.artifact, results)
+        summary = dict(data, blocks=req.partition,
+                       text=format_partition(data))
+        return CompileResult(request=req, partition=summary)
+
+    return memoize_stage("partition", (req.canonical_json(),), compute,
+                         use_cache)
+
+
 def execute(request: CompileRequest,
             use_cache: bool | None = None) -> CompileResult:
     """Run one request, whatever its action (the worker entry point)."""
@@ -619,6 +721,8 @@ def execute(request: CompileRequest,
         return compile(req, use_cache=use_cache)
     if req.action == "pipeline":
         return pipeline(req, use_cache=use_cache)
+    if req.action == "partition":
+        return partition(req, use_cache=use_cache)
     return evaluate(req, use_cache=use_cache)
 
 

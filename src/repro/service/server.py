@@ -31,6 +31,8 @@ Endpoints::
     POST /compile    same body; renders source/LoC/memory report
     POST /pipeline   {"kernel": <pipeline>, "fuse": ..., ...}; runs a
                      fused expression pipeline (FuseFlow cut report)
+    POST /partition  {"kernel": ..., "partition": P, "split": ...};
+                     row-blocks one kernel and reduces the partials
     GET  /stats      serve counters + the shared cache-stats payload
     GET  /healthz    liveness
 
@@ -500,14 +502,14 @@ class CompileService:
         if path == "/metrics":
             return (200, self.metrics_text().encode(),
                     "text/plain; version=0.0.4; charset=utf-8")
-        if path in ("/compile", "/evaluate", "/pipeline"):
+        if path in ("/compile", "/evaluate", "/pipeline", "/partition"):
             if method != "POST":
                 return 405, _error_body(f"{path} expects POST"), json_ct
             status, payload = await self._handle_work(path.lstrip("/"), body)
             return status, payload, json_ct
         return 404, _error_body(
             f"unknown path {path!r}; try /compile, /evaluate, /pipeline, "
-            f"/stats, /metrics"), json_ct
+            f"/partition, /stats, /metrics"), json_ct
 
     def stats_payload(self) -> dict[str, Any]:
         """The ``/stats`` body: serve counters + shared cache payload."""
